@@ -1,0 +1,32 @@
+#pragma once
+// Shared console-reporting helpers for the figure-reproduction harnesses.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace meshopt::benchutil {
+
+inline void header(const std::string& title, const std::string& paper_claim) {
+  std::printf("\n=======================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("=======================================================\n");
+}
+
+inline void print_cdf(const std::string& label, const Cdf& cdf, int points = 11) {
+  std::printf("CDF %s (n=%zu):\n", label.c_str(), cdf.size());
+  if (cdf.size() == 0) return;
+  std::printf("  %10s  %8s\n", "value", "F(x)");
+  for (const auto& [x, f] : cdf.curve(points)) {
+    std::printf("  %10.4f  %8.3f\n", x, f);
+  }
+}
+
+inline void kv(const char* key, double value, const char* unit = "") {
+  std::printf("  %-44s %10.4f %s\n", key, value, unit);
+}
+
+}  // namespace meshopt::benchutil

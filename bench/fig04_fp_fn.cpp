@@ -1,0 +1,126 @@
+// Figure 4 reproduction: false-positive / false-negative rates of the
+// two-primary-point + binary-LIR model on interfering link pairs, by
+// topology class (CS / IA / NF).
+//
+// Paper shape: FPs are rare everywhere (conservative model). FNs are near
+// zero for CS (mutual carrier sensing ~ time sharing), and substantially
+// higher for IA/NF, where capture lifts the true region above the
+// time-sharing line.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "estimation/lir.h"
+#include "scenario/topologies.h"
+#include "scenario/workbench.h"
+#include "util/stats.h"
+
+using namespace meshopt;
+
+namespace {
+
+struct ClassResult {
+  OnlineStats fp;
+  OnlineStats fn;
+};
+
+struct PairConfig {
+  Rate rate_a, rate_b;
+  double interference_dbm;
+  double p_ch_a;
+};
+
+/// Grid-sample the independent region of a pair and classify each point.
+void evaluate_pair(TopologyClass cls, const PairConfig& pc,
+                   std::uint64_t seed, ClassResult& out) {
+  Workbench wb(seed);
+  wb.add_nodes(4);
+  TwoLinkParams params;
+  params.cls = cls;
+  params.interference_dbm = pc.interference_dbm;
+  params.p_ch_a = pc.p_ch_a;
+  auto [a, b] = build_two_link(wb, params, pc.rate_a, pc.rate_b);
+
+  // Primary extreme points + UDP loss rates.
+  const auto ma = wb.measure_backlogged_outputs({a}, 5.0);
+  const auto mb = wb.measure_backlogged_outputs({b}, 5.0);
+  const double c11 = ma[0].throughput_bps;
+  const double c22 = mb[0].throughput_bps;
+  const double pl_a = ma[0].loss_rate;
+  const double pl_b = mb[0].loss_rate;
+  if (c11 < 0.05e6 || c22 < 0.05e6) return;
+
+  // Binary LIR classification.
+  const auto both = wb.measure_backlogged({a, b}, 5.0);
+  const double lir = (both[0] + both[1]) / (c11 + c22);
+  const bool interfering = lir < kLirThreshold;
+  if (!interfering) return;  // Fig. 4 reports interfering pairs
+
+  // Sample the independent region on a 5x5 grid.
+  int fp = 0, fn = 0, model_feasible_n = 0, model_infeasible_n = 0;
+  for (int i = 1; i <= 5; ++i) {
+    for (int j = 1; j <= 5; ++j) {
+      const double x1 = c11 * i / 5.0;
+      const double x2 = c22 * j / 5.0;
+      const bool model_feasible = (x1 / c11 + x2 / c22) <= 1.0 + 1e-9;
+      const auto res =
+          wb.measure_with_input_rates({a, b}, {x1, x2}, 4.0);
+      const bool measured_feasible =
+          res[0].throughput_bps >= 0.95 * (1.0 - pl_a) * x1 &&
+          res[1].throughput_bps >= 0.95 * (1.0 - pl_b) * x2;
+      if (model_feasible) {
+        ++model_feasible_n;
+        if (!measured_feasible) ++fp;
+      } else {
+        ++model_infeasible_n;
+        if (measured_feasible) ++fn;
+      }
+    }
+  }
+  if (model_feasible_n > 0)
+    out.fp.add(static_cast<double>(fp) / model_feasible_n);
+  if (model_infeasible_n > 0)
+    out.fn.add(static_cast<double>(fn) / model_infeasible_n);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header(
+      "Figure 4 - FP/FN of the 2-point binary-LIR model per topology class",
+      "FPs rare everywhere (94/3026 points); FNs ~0 for CS, higher for "
+      "IA/NF due to capture");
+
+  // Interference levels chosen near each rate's decode threshold, the
+  // capture-rich regime the paper's IA/NF testbed pairs exhibit (its Fig. 5
+  // discussion). Far stronger interferers push CSMA *below* time sharing
+  // instead — a regime the convex model cannot represent and the paper's
+  // configurations do not cover.
+  const std::vector<PairConfig> configs = {
+      {Rate::kR1Mbps, Rate::kR1Mbps, -68.0, 0.0},
+      {Rate::kR11Mbps, Rate::kR11Mbps, -73.0, 0.0},
+      {Rate::kR1Mbps, Rate::kR11Mbps, -69.0, 0.0},
+      {Rate::kR1Mbps, Rate::kR1Mbps, -68.0, 0.15},  // lossy channel case
+  };
+
+  std::printf("\n%-6s %10s %10s %10s | %10s %10s %10s\n", "class", "FP mean",
+              "FP min", "FP max", "FN mean", "FN min", "FN max");
+  for (TopologyClass cls :
+       {TopologyClass::kCS, TopologyClass::kIA, TopologyClass::kNF}) {
+    ClassResult res;
+    std::uint64_t seed = 100;
+    for (const PairConfig& pc : configs) {
+      evaluate_pair(cls, pc, seed++, res);
+    }
+    std::printf("%-6s %10.3f %10.3f %10.3f | %10.3f %10.3f %10.3f\n",
+                topology_name(cls), res.fp.mean(),
+                res.fp.count() ? res.fp.min() : 0.0,
+                res.fp.count() ? res.fp.max() : 0.0, res.fn.mean(),
+                res.fn.count() ? res.fn.min() : 0.0,
+                res.fn.count() ? res.fn.max() : 0.0);
+  }
+  std::printf(
+      "\nExpectation: FP small for every class; FN(CS) << FN(IA), FN(NF)\n");
+  return 0;
+}

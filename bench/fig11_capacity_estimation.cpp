@@ -1,0 +1,130 @@
+// Figure 11 reproduction: per-link capacity estimation under background
+// interference — maxUDP ground truth vs our online estimator vs AdHoc
+// Probe, normalized by nominal throughput.
+//
+// Paper shape: the online estimator tracks maxUDP (RMSE ~12%); AdHoc
+// Probe reads near-nominal rates regardless of channel losses and so
+// grossly over-estimates lossy links.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "estimation/capacity.h"
+#include "probe/adhoc_probe.h"
+#include "probe/probe_system.h"
+#include "scenario/topologies.h"
+#include "scenario/workbench.h"
+#include "transport/udp.h"
+#include "util/stats.h"
+
+using namespace meshopt;
+
+namespace {
+
+struct LinkRow {
+  Rate rate;
+  double maxudp_norm;
+  double online_norm;
+  double adhoc_norm;
+};
+
+LinkRow run_link(double p_ch, Rate rate, std::uint64_t seed) {
+  Workbench wb(seed);
+  wb.add_nodes(4);
+  TwoLinkParams params;
+  params.cls = TopologyClass::kIA;
+  params.interference_dbm = -60.0;
+  params.p_ch_a = p_ch;
+  auto [a, b] = build_two_link(wb, params, rate, rate);
+  const double nominal = nominal_throughput_bps(MacTimings{}, 1470, rate);
+
+  LinkRow row{rate, 0.0, 0.0, 0.0};
+  row.maxudp_norm =
+      wb.measure_backlogged({a}, 10.0)[0] / nominal;
+
+  // Online phase: probes + AdHoc Probe pairs + ON/OFF interference.
+  ProbeAgent agent_a(wb.net(), a.src, RngStream(seed, "agent-a"));
+  ProbeAgent agent_b(wb.net(), a.dst, RngStream(seed, "agent-b"));
+  agent_a.configure(0.1, {rate});
+  agent_b.configure(0.1, {rate});
+  ProbeMonitor mon_dst(wb.net(), a.dst);
+  ProbeMonitor mon_src(wb.net(), a.src);
+  agent_a.start();
+  agent_b.start();
+
+  wb.net().node(a.src).set_route(a.dst, a.dst);
+  wb.net().node(a.src).set_link_rate(a.dst, rate);
+  AdHocProbe adhoc(wb.net(), a.src, a.dst);
+  adhoc.start(200, 0.2);
+
+  wb.net().node(b.src).set_route(b.dst, b.dst);
+  wb.net().node(b.src).set_link_rate(b.dst, b.rate);
+  const int bflow = wb.net().open_flow(b.src, b.dst, Protocol::kUdp, 1470);
+  UdpSource interferer(wb.net(), bflow, UdpMode::kBacklogged, 0.0,
+                       RngStream(seed, "intf"));
+  RngStream sched(seed, "onoff");
+  std::function<void(bool)> toggle = [&](bool on) {
+    if (on) {
+      interferer.start();
+    } else {
+      interferer.stop();
+    }
+    wb.sim().schedule(seconds(sched.uniform(2.0, on ? 4.0 : 12.0)),
+                      [&toggle, on] { toggle(!on); });
+  };
+  toggle(true);
+
+  wb.run_for(0.1 * 700);
+  agent_a.stop();
+  agent_b.stop();
+  interferer.stop();
+
+  const auto est = estimate_link_capacity(
+      MacTimings{}, 1470, rate, mon_dst, a.src, mon_src, a.dst,
+      agent_a.sent(rate, ProbeKind::kDataProbe),
+      agent_b.sent(Rate::kR1Mbps, ProbeKind::kAckProbe));
+  row.online_norm = est.capacity_bps / nominal;
+  row.adhoc_norm = adhoc.capacity_estimate_bps() / nominal;
+  wb.run_for(1.0);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header(
+      "Figure 11 - maxUDP vs online estimator vs AdHoc Probe",
+      "online estimator tracks maxUDP (RMSE ~12%); AdHoc Probe reads "
+      "near-nominal regardless of losses");
+
+  std::vector<LinkRow> rows;
+  std::uint64_t seed = 500;
+  for (Rate rate : {Rate::kR1Mbps, Rate::kR11Mbps}) {
+    for (double p_ch :
+         {0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.6}) {
+      rows.push_back(run_link(p_ch, rate, seed++));
+    }
+  }
+
+  std::printf("\n%-5s %-8s %10s %10s %10s\n", "link", "rate", "maxUDP",
+              "online", "AdHocProbe");
+  std::vector<double> truth, online, adhoc;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const LinkRow& r = rows[i];
+    std::printf("%-5zu %-8s %10.3f %10.3f %10.3f\n", i + 1,
+                rate_name(r.rate), r.maxudp_norm, r.online_norm,
+                r.adhoc_norm);
+    truth.push_back(r.maxudp_norm);
+    online.push_back(r.online_norm);
+    adhoc.push_back(std::min(r.adhoc_norm, 2.0));
+  }
+  std::printf("\n(normalized by nominal throughput)\n");
+  benchutil::kv("online estimator RMSE vs maxUDP", rmse(online, truth));
+  benchutil::kv("AdHoc Probe RMSE vs maxUDP", rmse(adhoc, truth));
+  std::printf(
+      "\nExpectation: online RMSE ~0.1 (paper 12%%); AdHoc Probe several "
+      "times worse, pinned near nominal\n");
+  return 0;
+}

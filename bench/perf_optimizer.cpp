@@ -1,0 +1,121 @@
+// Section 6.1 timing claims, as google-benchmark microbenchmarks:
+//   * extreme-point computation (maximal-clique enumeration on the
+//     complement graph): the paper's worst case was ~200 extreme points in
+//     < 10 ms,
+//   * the convex optimization: Matlab took < 3 s; our simplex/Frank-Wolfe
+//     implementation should be far faster at testbed scale,
+//   * the channel-loss estimator on a full probing window.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "estimation/loss_estimator.h"
+#include "model/conflict_graph.h"
+#include "model/feasibility.h"
+#include "opt/network_optimizer.h"
+#include "util/rng.h"
+
+namespace meshopt {
+namespace {
+
+ConflictGraph random_conflicts(int links, double density, std::uint64_t seed) {
+  ConflictGraph g(links);
+  RngStream rng(seed, "bench-graph");
+  for (int i = 0; i < links; ++i)
+    for (int j = i + 1; j < links; ++j)
+      if (rng.bernoulli(density)) g.add_conflict(i, j);
+  return g;
+}
+
+void BM_MaximalIndependentSets(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  const ConflictGraph g = random_conflicts(links, 0.5, 42);
+  std::size_t sets = 0;
+  for (auto _ : state) {
+    const auto mis = g.maximal_independent_sets();
+    sets = mis.size();
+    benchmark::DoNotOptimize(mis);
+  }
+  state.counters["sets"] = static_cast<double>(sets);
+}
+BENCHMARK(BM_MaximalIndependentSets)->Arg(12)->Arg(24)->Arg(40);
+
+void BM_ExtremePoints(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  const ConflictGraph g = random_conflicts(links, 0.5, 43);
+  std::vector<double> caps(static_cast<std::size_t>(links), 1e6);
+  for (auto _ : state) {
+    const auto pts = build_extreme_points(caps, g);
+    benchmark::DoNotOptimize(pts);
+  }
+}
+BENCHMARK(BM_ExtremePoints)->Arg(12)->Arg(24)->Arg(40);
+
+OptimizerInput testbed_scale_problem(int links, int flows, std::uint64_t seed) {
+  OptimizerInput in;
+  RngStream rng(seed, "bench-lp");
+  const ConflictGraph g = random_conflicts(links, 0.5, seed);
+  std::vector<double> caps;
+  for (int l = 0; l < links; ++l) caps.push_back(rng.uniform(0.3e6, 5e6));
+  in.extreme_points = build_extreme_points(caps, g);
+  in.routing.assign(static_cast<std::size_t>(links),
+                    std::vector<double>(static_cast<std::size_t>(flows), 0.0));
+  for (int f = 0; f < flows; ++f) {
+    // Each flow crosses 1-4 random links.
+    const int hops = rng.uniform_int(1, 4);
+    for (int h = 0; h < hops; ++h)
+      in.routing[static_cast<std::size_t>(
+          rng.uniform_int(0, links - 1))][static_cast<std::size_t>(f)] = 1.0;
+  }
+  return in;
+}
+
+void BM_MaxThroughputLp(benchmark::State& state) {
+  const auto in = testbed_scale_problem(24, 6, 44);
+  for (auto _ : state) {
+    const auto r = optimize_rates(in, {.objective = Objective::kMaxThroughput});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MaxThroughputLp);
+
+void BM_ProportionalFairFrankWolfe(benchmark::State& state) {
+  const auto in = testbed_scale_problem(24, 6, 45);
+  for (auto _ : state) {
+    const auto r =
+        optimize_rates(in, {.objective = Objective::kProportionalFair});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ProportionalFairFrankWolfe);
+
+void BM_MaxMinWaterfilling(benchmark::State& state) {
+  const auto in = testbed_scale_problem(24, 6, 46);
+  for (auto _ : state) {
+    const auto r = optimize_rates(in, {.objective = Objective::kMaxMin});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MaxMinWaterfilling);
+
+void BM_ChannelLossEstimator(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  RngStream rng(47, "bench-est");
+  std::vector<std::uint8_t> pattern(static_cast<std::size_t>(s));
+  for (int i = 0; i < s; ++i) {
+    const bool burst = (i / 60) % 4 == 0;
+    pattern[static_cast<std::size_t>(i)] =
+        rng.bernoulli(burst ? 0.9 : 0.07) ? 1 : 0;
+  }
+  for (auto _ : state) {
+    const auto est = estimate_channel_loss(pattern);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_ChannelLossEstimator)->Arg(200)->Arg(640)->Arg(1280);
+
+}  // namespace
+}  // namespace meshopt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Quickstart: build a small mesh, run one online optimization round, and
+// print the optimized rates.
+//
+//   $ ./example_quickstart
+//
+// What happens:
+//  1. a 4-node gateway topology is built (2-hop chain + a 1-hop cross
+//     flow),
+//  2. two UDP flows start unshaped,
+//  3. the controller probes the links online, estimates channel losses and
+//     capacities (Eq. 6), builds the two-hop conflict graph and extreme
+//     points, solves the proportional-fair problem, and programs the
+//     sources' rate limits.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/controller.h"
+#include "scenario/workbench.h"
+#include "transport/udp.h"
+
+using namespace meshopt;
+
+int main() {
+  Workbench wb(/*seed=*/1);
+  wb.add_nodes(4);
+
+  // Radio map: 0-1-2 chain plus 3 near the gateway 2; 0 and 3 hidden.
+  Channel& ch = wb.channel();
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = 0; b < 4; ++b)
+      if (a != b) ch.set_rss_dbm(a, b, -120.0);
+  ch.set_rss_symmetric_dbm(0, 1, -58.0);
+  ch.set_rss_symmetric_dbm(1, 2, -58.0);
+  ch.set_rss_symmetric_dbm(3, 2, -56.0);
+  ch.set_rss_symmetric_dbm(1, 3, -70.0);
+
+  // Two UDP flows, initially rate-limited far too conservatively (the
+  // "static rate limiter rule of thumb" the paper wants to replace).
+  const int f_long = wb.net().open_flow(0, 2, Protocol::kUdp, 1470);
+  const int f_short = wb.net().open_flow(3, 2, Protocol::kUdp, 1470);
+  wb.net().set_path_routes({0, 1, 2}, Rate::kR1Mbps);
+  wb.net().set_path_routes({3, 2}, Rate::kR1Mbps);
+  UdpSource long_src(wb.net(), f_long, UdpMode::kCbr, 50e3,
+                     RngStream(1, "long"));
+  UdpSource short_src(wb.net(), f_short, UdpMode::kCbr, 50e3,
+                      RngStream(1, "short"));
+  long_src.start();
+  short_src.start();
+
+  // Online optimization round.
+  ControllerConfig cfg;
+  cfg.probe_period_s = 0.5;
+  cfg.probe_window = 100;  // 50 s estimation window
+  cfg.optimizer.objective = Objective::kProportionalFair;
+  MeshController ctl(wb.net(), cfg, /*seed=*/1);
+
+  ManagedFlow mf_long;
+  mf_long.flow_id = f_long;
+  mf_long.path = {0, 1, 2};
+  mf_long.apply_rate = [&](double x) { long_src.set_rate_bps(x); };
+  ctl.manage_flow(mf_long);
+  ManagedFlow mf_short;
+  mf_short.flow_id = f_short;
+  mf_short.path = {3, 2};
+  mf_short.apply_rate = [&](double x) { short_src.set_rate_bps(x); };
+  ctl.manage_flow(mf_short);
+
+  std::printf("probing for %.0f s of simulated time...\n",
+              ctl.probing_window_seconds());
+  const RoundResult round = ctl.run_round(wb);
+  if (!round.ok) {
+    std::printf("optimization round failed\n");
+    return 1;
+  }
+
+  std::printf("\nlink estimates:\n");
+  for (const auto& row : round.links) {
+    std::printf("  %d -> %d : p_link=%.3f capacity=%.0f kb/s\n",
+                row.link.src, row.link.dst, row.estimate.p_link,
+                row.estimate.capacity_bps / 1e3);
+  }
+  std::printf("\noptimized rates (proportional fairness, %d extreme "
+              "points):\n",
+              round.extreme_points);
+  std::printf("  2-hop flow: y=%.0f kb/s, applied x=%.0f kb/s\n",
+              round.y[0] / 1e3, round.x[0] / 1e3);
+  std::printf("  1-hop flow: y=%.0f kb/s, applied x=%.0f kb/s\n",
+              round.y[1] / 1e3, round.x[1] / 1e3);
+
+  // Let the shaped network run and verify the targets are achieved.
+  wb.run_for(2.0);
+  wb.net().reset_flow_counters();
+  wb.run_for(20.0);
+  std::printf("\nachieved over 20 s:\n");
+  std::printf("  2-hop flow: %.0f kb/s\n",
+              wb.net().flow(f_long).throughput_bps(20.0) / 1e3);
+  std::printf("  1-hop flow: %.0f kb/s\n",
+              wb.net().flow(f_short).throughput_bps(20.0) / 1e3);
+  return 0;
+}

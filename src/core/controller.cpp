@@ -1,0 +1,207 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+namespace meshopt {
+
+MeshController::MeshController(Network& net, ControllerConfig cfg,
+                               std::uint64_t seed)
+    : net_(net), cfg_(cfg), seed_(seed) {
+  neighbor_pred_ = [this](NodeId a, NodeId b) {
+    return net_.channel().decodable(a, b, Rate::kR1Mbps) ||
+           net_.channel().decodable(b, a, Rate::kR1Mbps);
+  };
+}
+
+int MeshController::link_index(NodeId src, NodeId dst) const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].src == src && links_[i].dst == dst)
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void MeshController::manage_flow(ManagedFlow flow) {
+  net_.set_path_routes(flow.path, flow.rate);
+  for (std::size_t h = 0; h + 1 < flow.path.size(); ++h) {
+    if (link_index(flow.path[h], flow.path[h + 1]) < 0) {
+      links_.push_back(LinkRef{flow.path[h], flow.path[h + 1], flow.rate});
+    }
+  }
+  flows_.push_back(std::move(flow));
+}
+
+void MeshController::set_lir_table(std::vector<std::vector<double>> lir,
+                                   double threshold) {
+  lir_table_ = std::move(lir);
+  lir_threshold_ = threshold;
+  cfg_.interference = InterferenceModelKind::kLirTable;
+}
+
+void MeshController::set_neighbor_predicate(
+    std::function<bool(NodeId, NodeId)> pred) {
+  neighbor_pred_ = std::move(pred);
+}
+
+void MeshController::ensure_probe_infra(NodeId node) {
+  if (!agents_.contains(node)) {
+    auto agent = std::make_unique<ProbeAgent>(
+        net_, node, RngStream(seed_, "probe-" + std::to_string(node)));
+    agents_.emplace(node, std::move(agent));
+  }
+  if (!monitors_.contains(node)) {
+    monitors_.emplace(node, std::make_unique<ProbeMonitor>(net_, node));
+  }
+}
+
+void MeshController::start_probing() {
+  // Which rates does each node transmit at?
+  std::map<NodeId, std::set<Rate>> tx_rates;
+  for (const LinkRef& l : links_) tx_rates[l.src].insert(l.rate);
+  std::set<NodeId> nodes;
+  for (const LinkRef& l : links_) {
+    nodes.insert(l.src);
+    nodes.insert(l.dst);
+  }
+  for (NodeId n : nodes) {
+    ensure_probe_infra(n);
+    std::vector<Rate> rates(tx_rates[n].begin(), tx_rates[n].end());
+    if (rates.empty()) rates.push_back(Rate::kR1Mbps);
+    agents_.at(n)->configure(cfg_.probe_period_s, rates, cfg_.payload_bytes);
+    agents_.at(n)->start();
+  }
+  // Open a fresh measurement window on every stream of interest.
+  for (const LinkRef& l : links_) {
+    const std::uint64_t data_base =
+        agents_.at(l.src)->sent(l.rate, ProbeKind::kDataProbe);
+    monitors_.at(l.dst)
+        ->stream_mut({l.src, l.rate, ProbeKind::kDataProbe})
+        ->begin_window(data_base);
+    const std::uint64_t ack_base =
+        agents_.at(l.dst)->sent(Rate::kR1Mbps, ProbeKind::kAckProbe);
+    monitors_.at(l.src)
+        ->stream_mut({l.dst, Rate::kR1Mbps, ProbeKind::kAckProbe})
+        ->begin_window(ack_base);
+  }
+}
+
+void MeshController::stop_probing() {
+  for (auto& [_, agent] : agents_) agent->stop();
+}
+
+void MeshController::update_estimates() {
+  estimates_.clear();
+  for (const LinkRef& l : links_) {
+    const std::uint64_t data_sent =
+        agents_.at(l.src)->sent(l.rate, ProbeKind::kDataProbe);
+    const std::uint64_t ack_sent =
+        agents_.at(l.dst)->sent(Rate::kR1Mbps, ProbeKind::kAckProbe);
+    // Window-relative expectations come from the recorders' bases, which
+    // were the senders' counters at start_probing time. Since recorders
+    // are window-relative, expected = sent_now - base and the recorder's
+    // pattern() already speaks window coordinates; we cap at probe_window.
+    const LossRecorder* data_rec = monitors_.at(l.dst)->stream(
+        {l.src, l.rate, ProbeKind::kDataProbe});
+    const LossRecorder* ack_rec = monitors_.at(l.src)->stream(
+        {l.dst, Rate::kR1Mbps, ProbeKind::kAckProbe});
+    (void)data_sent;
+    (void)ack_sent;
+
+    const auto expected =
+        static_cast<std::uint64_t>(cfg_.probe_window);
+    LinkCapacityEstimate est;
+    double p_data = 1.0, p_ack = 1.0;
+    if (data_rec != nullptr) {
+      const auto pat = data_rec->pattern(expected);
+      if (!pat.empty())
+        p_data = estimate_channel_loss(pat, cfg_.w_min).p_ch;
+    }
+    if (ack_rec != nullptr) {
+      const auto pat = ack_rec->pattern(expected);
+      if (!pat.empty()) p_ack = estimate_channel_loss(pat, cfg_.w_min).p_ch;
+    }
+    est = capacity_from_losses(net_.node(l.src).mac().timings(),
+                               cfg_.payload_bytes, l.rate, p_data, p_ack);
+    estimates_.push_back({l, est});
+
+    LinkState ls;
+    ls.src = l.src;
+    ls.dst = l.dst;
+    ls.rate = l.rate;
+    ls.p_fwd = est.p_data;
+    ls.p_rev = est.p_ack;
+    topo_.update_link(ls);
+  }
+}
+
+RoundResult MeshController::optimize_and_apply() {
+  RoundResult round;
+  if (flows_.empty() || estimates_.size() != links_.size()) return round;
+
+  // Capacities and conflict graph.
+  std::vector<double> capacities;
+  capacities.reserve(links_.size());
+  for (const auto& row : estimates_)
+    capacities.push_back(row.estimate.capacity_bps);
+
+  ConflictGraph conflicts =
+      (cfg_.interference == InterferenceModelKind::kLirTable && lir_table_)
+          ? build_lir_conflict_graph(*lir_table_, lir_threshold_)
+          : build_two_hop_conflict_graph(links_, neighbor_pred_);
+
+  OptimizerInput in;
+  in.extreme_points = build_extreme_points(capacities, conflicts);
+
+  // Routing matrix.
+  in.routing.assign(links_.size(), std::vector<double>(flows_.size(), 0.0));
+  for (std::size_t s = 0; s < flows_.size(); ++s) {
+    const auto& path = flows_[s].path;
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      const int l = link_index(path[h], path[h + 1]);
+      if (l >= 0) in.routing[static_cast<std::size_t>(l)][s] = 1.0;
+    }
+  }
+
+  const OptimizerResult opt = optimize_rates(in, cfg_.optimizer);
+  if (!opt.ok) return round;
+
+  round.ok = true;
+  round.links = estimates_;
+  round.extreme_points = static_cast<int>(in.extreme_points.size());
+  round.optimizer_iterations = opt.iterations;
+  round.y = opt.y;
+  round.x.resize(flows_.size(), 0.0);
+
+  for (std::size_t s = 0; s < flows_.size(); ++s) {
+    const ManagedFlow& f = flows_[s];
+    // Residual network-layer loss after MAC retries: p_net = p_link^R.
+    double deliver = 1.0;
+    for (std::size_t h = 0; h + 1 < f.path.size(); ++h) {
+      const int li = link_index(f.path[h], f.path[h + 1]);
+      if (li < 0) continue;
+      const double p =
+          estimates_[static_cast<std::size_t>(li)].estimate.p_link;
+      const int retries =
+          net_.node(f.path[h]).mac().timings().retry_limit;
+      deliver *= 1.0 - std::pow(p, retries);
+    }
+    double x = opt.y[s] / std::max(deliver, 1e-3);
+    if (f.is_tcp) x *= tcp_ack_airtime_factor();
+    x *= cfg_.headroom;
+    round.x[s] = x;
+    if (f.apply_rate) f.apply_rate(x);
+  }
+  return round;
+}
+
+RoundResult MeshController::run_round(Workbench& wb) {
+  start_probing();
+  wb.run_for(probing_window_seconds());
+  update_estimates();
+  return optimize_and_apply();
+}
+
+}  // namespace meshopt

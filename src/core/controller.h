@@ -1,0 +1,140 @@
+#pragma once
+// MeshController — the paper's online optimization loop (Sections 5-6).
+//
+// One controller manages a set of end-to-end flows with known paths. Each
+// round it:
+//   1. runs the broadcast probing system concurrently with live traffic,
+//   2. estimates per-link channel loss rates (collision-filtering
+//      estimator) and link capacities (Eq. 6),
+//   3. builds the conflict graph (two-hop model, or a supplied LIR table)
+//      and the extreme points (Eq. 4),
+//   4. solves the utility-maximization problem for target output rates y_s,
+//   5. converts to input rates x_s = y_s/(1-p_s), applies the TCP ACK
+//      airtime factor for TCP flows, and programs the rate limiters.
+//
+// The controller is deliberately phase-explicit (start_probing /
+// update_estimates / optimize_and_apply) so experiments can interleave it
+// with traffic exactly like the paper's two-phase runs; run_round() wraps
+// a full cycle.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "estimation/capacity.h"
+#include "model/conflict_graph.h"
+#include "model/feasibility.h"
+#include "opt/network_optimizer.h"
+#include "probe/probe_system.h"
+#include "routing/ett.h"
+#include "scenario/workbench.h"
+
+namespace meshopt {
+
+enum class InterferenceModelKind : std::uint8_t { kTwoHop, kLirTable };
+
+struct ControllerConfig {
+  double probe_period_s = 0.5;
+  int probe_window = 200;  ///< S probes per estimation window
+  int w_min = 10;          ///< estimator minimum sliding window
+  int payload_bytes = 1470;
+  OptimizerConfig optimizer{};
+  InterferenceModelKind interference = InterferenceModelKind::kTwoHop;
+  /// Optional global scale-down of computed input rates (1.0 = none).
+  double headroom = 1.0;
+};
+
+struct ManagedFlow {
+  int flow_id = -1;
+  std::vector<NodeId> path;  ///< node sequence src..dst
+  Rate rate = Rate::kR1Mbps;
+  bool is_tcp = false;
+  /// Callback that programs the flow's rate limiter with x_s (bits/s).
+  std::function<void(double x_bps)> apply_rate;
+};
+
+struct LinkEstimateRow {
+  LinkRef link;
+  LinkCapacityEstimate estimate;
+};
+
+struct RoundResult {
+  bool ok = false;
+  std::vector<LinkEstimateRow> links;
+  std::vector<double> y;  ///< optimized output rates per managed flow
+  std::vector<double> x;  ///< applied input rates per managed flow
+  int extreme_points = 0;
+  int optimizer_iterations = 0;
+};
+
+class MeshController {
+ public:
+  MeshController(Network& net, ControllerConfig cfg, std::uint64_t seed);
+
+  /// Register a flow (its path also defines the links under management).
+  void manage_flow(ManagedFlow flow);
+
+  [[nodiscard]] const std::vector<ManagedFlow>& flows() const {
+    return flows_;
+  }
+  [[nodiscard]] const std::vector<LinkRef>& links() const { return links_; }
+
+  /// Provide a measured LIR table (same order as links()) to use the
+  /// binary-LIR interference model instead of two-hop.
+  void set_lir_table(std::vector<std::vector<double>> lir,
+                     double threshold = 0.95);
+
+  /// Neighbor predicate for the two-hop model (defaults to channel
+  /// decodability).
+  void set_neighbor_predicate(std::function<bool(NodeId, NodeId)> pred);
+
+  /// Phase 1: start the probing system on every node touched by a flow.
+  void start_probing();
+  void stop_probing();
+  /// Seconds of probing needed to fill one estimation window.
+  [[nodiscard]] double probing_window_seconds() const {
+    return cfg_.probe_period_s * cfg_.probe_window;
+  }
+
+  /// Phase 2: read the probe monitors and refresh link estimates.
+  void update_estimates();
+
+  /// Phase 3: build the model, optimize, program the shapers.
+  RoundResult optimize_and_apply();
+
+  /// Convenience: probe for one window of simulated time, then estimate
+  /// and apply. Caller's simulation keeps running its traffic meanwhile.
+  RoundResult run_round(Workbench& wb);
+
+  [[nodiscard]] const std::vector<LinkEstimateRow>& link_estimates() const {
+    return estimates_;
+  }
+  [[nodiscard]] const TopologyDb& topology() const { return topo_; }
+
+ private:
+  void ensure_probe_infra(NodeId node);
+  [[nodiscard]] int link_index(NodeId src, NodeId dst) const;
+
+  Network& net_;
+  ControllerConfig cfg_;
+  std::uint64_t seed_;
+  std::vector<ManagedFlow> flows_;
+  std::vector<LinkRef> links_;
+
+  std::map<NodeId, std::unique_ptr<ProbeAgent>> agents_;
+  std::map<NodeId, std::unique_ptr<ProbeMonitor>> monitors_;
+  std::map<NodeId, std::uint64_t> window_start_data_;
+  std::map<NodeId, std::uint64_t> window_start_ack_;
+
+  std::vector<LinkEstimateRow> estimates_;
+  TopologyDb topo_;
+
+  std::optional<std::vector<std::vector<double>>> lir_table_;
+  double lir_threshold_ = 0.95;
+  std::function<bool(NodeId, NodeId)> neighbor_pred_;
+};
+
+}  // namespace meshopt

@@ -1,0 +1,39 @@
+#include "estimation/capacity.h"
+
+namespace meshopt {
+
+LinkCapacityEstimate capacity_from_losses(const MacTimings& t,
+                                          int payload_bytes, Rate rate,
+                                          double p_ch_data, double p_ch_ack) {
+  LinkCapacityEstimate est;
+  est.p_data = p_ch_data;
+  est.p_ack = p_ch_ack;
+  est.p_link = combine_data_ack_loss(p_ch_data, p_ch_ack);
+  est.capacity_bps =
+      max_udp_throughput_bps(t, payload_bytes, rate, est.p_link);
+  return est;
+}
+
+LinkCapacityEstimate estimate_link_capacity(
+    const MacTimings& t, int payload_bytes, Rate rate,
+    const ProbeMonitor& monitor_at_dst, NodeId src,
+    const ProbeMonitor& monitor_at_src, NodeId dst,
+    std::uint64_t expected_data, std::uint64_t expected_ack, int w_min) {
+  double p_data = 1.0;  // no probes heard at all: assume dead link
+  double p_ack = 1.0;
+
+  if (const LossRecorder* rec =
+          monitor_at_dst.stream({src, rate, ProbeKind::kDataProbe})) {
+    const auto pat = rec->pattern(expected_data);
+    if (!pat.empty()) p_data = estimate_channel_loss(pat, w_min).p_ch;
+  }
+  if (const LossRecorder* rec = monitor_at_src.stream(
+          {dst, Rate::kR1Mbps, ProbeKind::kAckProbe})) {
+    const auto pat = rec->pattern(expected_ack);
+    if (!pat.empty()) p_ack = estimate_channel_loss(pat, w_min).p_ch;
+  }
+
+  return capacity_from_losses(t, payload_bytes, rate, p_data, p_ack);
+}
+
+}  // namespace meshopt

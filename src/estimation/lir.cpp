@@ -1,0 +1,17 @@
+#include "estimation/lir.h"
+
+namespace meshopt {
+
+LirMeasurement measure_lir(Workbench& wb, const LinkRef& a, const LinkRef& b,
+                           double phase_duration_s, int payload_bytes) {
+  LirMeasurement m;
+  m.c11 = wb.measure_backlogged({a}, phase_duration_s, payload_bytes)[0];
+  m.c22 = wb.measure_backlogged({b}, phase_duration_s, payload_bytes)[0];
+  const auto both =
+      wb.measure_backlogged({a, b}, phase_duration_s, payload_bytes);
+  m.c31 = both[0];
+  m.c32 = both[1];
+  return m;
+}
+
+}  // namespace meshopt

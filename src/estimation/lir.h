@@ -1,0 +1,42 @@
+#pragma once
+// Link Interference Ratio measurement (paper Section 4.2, from Padhye et
+// al. [24]):
+//
+//   LIR = (c31 + c32) / (c11 + c22)
+//
+// where c11/c22 are the links' backlogged UDP throughputs alone and
+// c31/c32 their throughputs transmitting simultaneously. LIR = 1 means no
+// interference. This is an offline measurement harness — the paper uses it
+// as the reference interference model and thresholds it at 0.95.
+
+#include "scenario/workbench.h"
+
+namespace meshopt {
+
+struct LirMeasurement {
+  double c11 = 0.0;
+  double c22 = 0.0;
+  double c31 = 0.0;
+  double c32 = 0.0;
+
+  [[nodiscard]] double lir() const {
+    const double denom = c11 + c22;
+    return denom > 0.0 ? (c31 + c32) / denom : 1.0;
+  }
+};
+
+constexpr double kLirThreshold = 0.95;  ///< the paper's operating point
+
+/// Three-phase measurement: link a alone, link b alone, both together.
+[[nodiscard]] LirMeasurement measure_lir(Workbench& wb, const LinkRef& a,
+                                         const LinkRef& b,
+                                         double phase_duration_s = 8.0,
+                                         int payload_bytes = 1470);
+
+/// Binary-LIR classification with the given threshold.
+[[nodiscard]] inline bool interfering(const LirMeasurement& m,
+                                      double threshold = kLirThreshold) {
+  return m.lir() < threshold;
+}
+
+}  // namespace meshopt

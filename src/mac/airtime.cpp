@@ -1,0 +1,81 @@
+#include "mac/airtime.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace meshopt {
+
+TimeNs MacTimings::eifs() const {
+  // EIFS = SIFS + ACK airtime at base rate + DIFS (802.11-1999 9.2.10).
+  return sifs + ack_duration(*this) + difs;
+}
+
+TimeNs frame_duration(const MacTimings& t, int bytes, Rate rate) {
+  const double bits = 8.0 * static_cast<double>(bytes);
+  const double ns = bits * 1e9 / rate_bps(rate);
+  return t.plcp + static_cast<TimeNs>(std::ceil(ns));
+}
+
+TimeNs data_frame_duration(const MacTimings& t, int net_bytes, Rate rate) {
+  return frame_duration(t, net_bytes + t.mac_header_bytes + t.llc_bytes, rate);
+}
+
+TimeNs ack_duration(const MacTimings& t) {
+  return frame_duration(t, t.ack_bytes, t.ack_rate);
+}
+
+TimeNs nominal_cycle(const MacTimings& t, int net_bytes, Rate rate) {
+  const TimeNs mean_backoff0 = t.slot * (t.cw_min - 1) / 2;
+  return t.difs + mean_backoff0 + data_frame_duration(t, net_bytes, rate) +
+         t.sifs + ack_duration(t);
+}
+
+double nominal_throughput_bps(const MacTimings& t, int udp_payload_bytes,
+                              Rate rate, const NetOverheads& oh) {
+  const int net_bytes = udp_payload_bytes + oh.ip_bytes + oh.udp_bytes;
+  const TimeNs cycle = nominal_cycle(t, net_bytes, rate);
+  return 8.0 * static_cast<double>(udp_payload_bytes) /
+         to_seconds(cycle);
+}
+
+TimeNs backoff_between_stages(const MacTimings& t, int a, int b) {
+  TimeNs acc = 0;
+  for (int i = a; i <= b; ++i) {
+    acc += t.slot * (t.cw_at_stage(i) - 1) / 2;
+  }
+  return acc;
+}
+
+double max_udp_throughput_bps(const MacTimings& t, int udp_payload_bytes,
+                              Rate rate, double p_loss,
+                              const NetOverheads& oh) {
+  // Clamp: beyond ~0.95 the retry limit dominates and the representation is
+  // outside its validity range anyway.
+  const double p = std::clamp(p_loss, 0.0, 0.95);
+  const int net_bytes = udp_payload_bytes + oh.ip_bytes + oh.udp_bytes;
+
+  const double etx = 1.0 / (1.0 - p);
+
+  // ttx: ETX attempts, each a full cycle (DIFS + mean stage-0 backoff +
+  // DATA + SIFS + ACK/ACK-timeout — we approximate the failed-attempt tail
+  // by the same SIFS+ACK window, which is what the DCF waits for).
+  const double cycle_s = to_seconds(nominal_cycle(t, net_bytes, rate));
+  const double ttx = etx * cycle_s;
+
+  // tidle (Eq. 6): extra backoff incurred by the escalating stages reached
+  // during retransmissions. The stage-0 backoff is already in the cycle.
+  const int m = t.max_backoff_stage;
+  const int floor_etx = static_cast<int>(etx);
+  double tidle = 0.0;
+  if (etx < static_cast<double>(m)) {
+    tidle = to_seconds(backoff_between_stages(t, 1, floor_etx - 1));
+  } else {
+    const TimeNs capped = t.slot * (t.cw_max() - 1) / 2;
+    tidle = to_seconds(backoff_between_stages(t, 1, m - 1)) +
+            to_seconds(capped) * static_cast<double>(floor_etx - m);
+  }
+
+  return 8.0 * static_cast<double>(udp_payload_bytes) / (ttx + tidle);
+}
+
+}  // namespace meshopt

@@ -1,0 +1,56 @@
+#pragma once
+// 802.11 airtime accounting and the paper's link-capacity representation.
+//
+// Two closed forms live here:
+//  * nominal_throughput_bps — the loss-free UDP throughput of an isolated
+//    backlogged link (Jun, Peddabachagari & Sichitiu [19]): one DIFS, the
+//    mean stage-0 backoff, the DATA frame, a SIFS and the ACK per packet.
+//  * max_udp_throughput_bps — Eq. (6) of the paper: the same cycle inflated
+//    by ETX = 1/(1-p) retransmissions plus the escalating backoff stages
+//    F(a,b) spent on retries (the "tidle" term).
+//
+// The same constants drive the DCF simulator, so the formulas can be
+// validated against measured throughput (tests/test_capacity_model.cpp).
+
+#include "phy/radio.h"
+#include "sim/simulator.h"
+
+namespace meshopt {
+
+/// Airtime of an over-the-air frame of `bytes` at `rate` (PLCP + payload).
+[[nodiscard]] TimeNs frame_duration(const MacTimings& t, int bytes, Rate rate);
+
+/// Airtime of a DATA frame carrying `net_bytes` of network-layer payload
+/// (IP packet), including MAC header + LLC.
+[[nodiscard]] TimeNs data_frame_duration(const MacTimings& t, int net_bytes,
+                                         Rate rate);
+
+/// Airtime of the 802.11 ACK control frame.
+[[nodiscard]] TimeNs ack_duration(const MacTimings& t);
+
+/// Duration of a full loss-free DATA exchange cycle:
+/// DIFS + mean stage-0 backoff + DATA + SIFS + ACK.
+[[nodiscard]] TimeNs nominal_cycle(const MacTimings& t, int net_bytes,
+                                   Rate rate);
+
+/// Loss-free UDP goodput for a backlogged isolated link, counting only the
+/// UDP payload bits (net_bytes = IP+UDP headers + payload).
+/// Returns bits/second of *UDP payload*.
+[[nodiscard]] double nominal_throughput_bps(const MacTimings& t,
+                                            int udp_payload_bytes, Rate rate,
+                                            const NetOverheads& oh = {});
+
+/// Total mean backoff time sigma * sum_{i=a}^{b} (2^i*W0 - 1)/2 between
+/// backoff stages a and b inclusive (F(a,b) in the paper). Empty if a > b.
+[[nodiscard]] TimeNs backoff_between_stages(const MacTimings& t, int a, int b);
+
+/// Eq. (6): maxUDP throughput of an isolated backlogged link whose channel
+/// loses each transmission attempt independently with probability `p_loss`
+/// (DATA and ACK losses combined: p = 1-(1-pDATA)(1-pACK)).
+/// Returns bits/second of UDP payload. p_loss is clamped to [0, 0.95].
+[[nodiscard]] double max_udp_throughput_bps(const MacTimings& t,
+                                            int udp_payload_bytes, Rate rate,
+                                            double p_loss,
+                                            const NetOverheads& oh = {});
+
+}  // namespace meshopt

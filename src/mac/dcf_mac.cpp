@@ -1,0 +1,215 @@
+#include "mac/dcf_mac.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace meshopt {
+
+DcfMac::DcfMac(Simulator& sim, Channel& channel, MacTimings timings,
+               RngStream rng, MacSap* upper)
+    : sim_(sim),
+      channel_(channel),
+      t_(timings),
+      rng_(rng),
+      upper_(upper) {
+  id_ = channel_.add_node(this);
+}
+
+bool DcfMac::medium_busy() const { return channel_.carrier_busy(id_); }
+
+bool DcfMac::enqueue(const MacTxRequest& req) {
+  if (queue_.size() >= queue_capacity_) {
+    ++stats_.queue_rejections;
+    return false;
+  }
+  queue_.push_back(req);
+  try_dequeue_and_contend();
+  return true;
+}
+
+void DcfMac::try_dequeue_and_contend() {
+  if (current_.has_value() || queue_.empty()) return;
+  if (transmitting_ || waiting_ack_) return;
+  current_ = queue_.front();
+  queue_.pop_front();
+  retry_ = 0;
+  if (!backoff_pending_) begin_backoff(0);
+  resume_countdown();
+}
+
+void DcfMac::begin_backoff(int stage) {
+  const int cw = t_.cw_at_stage(stage);
+  backoff_slots_ = rng_.uniform_int(0, cw - 1);
+  backoff_pending_ = true;
+}
+
+void DcfMac::resume_countdown() {
+  if (!backoff_pending_) return;
+  if (transmitting_ || waiting_ack_ || medium_busy()) return;
+  if (countdown_ev_ != kNoEvent) return;  // already counting down
+  const TimeNs ifs = next_ifs_is_eifs_ ? t_.eifs() : t_.difs;
+  countdown_anchor_ = sim_.now();
+  const TimeNs finish = countdown_anchor_ + ifs + t_.slot * backoff_slots_;
+  countdown_ev_ = sim_.schedule_at(finish, [this] {
+    countdown_ev_ = kNoEvent;
+    on_countdown_done();
+  });
+}
+
+void DcfMac::freeze_countdown() {
+  if (countdown_ev_ == kNoEvent) return;
+  sim_.cancel(countdown_ev_);
+  countdown_ev_ = kNoEvent;
+  const TimeNs ifs = next_ifs_is_eifs_ ? t_.eifs() : t_.difs;
+  const TimeNs elapsed = sim_.now() - countdown_anchor_ - ifs;
+  if (elapsed > 0) {
+    const int consumed = static_cast<int>(elapsed / t_.slot);
+    backoff_slots_ = std::max(0, backoff_slots_ - consumed);
+  }
+}
+
+void DcfMac::phy_busy_changed(bool busy) {
+  if (busy) {
+    freeze_countdown();
+  } else {
+    resume_countdown();
+  }
+}
+
+void DcfMac::on_countdown_done() {
+  backoff_pending_ = false;
+  backoff_slots_ = 0;
+  next_ifs_is_eifs_ = false;  // EIFS deferral was honored by this countdown
+  if (!current_.has_value()) {
+    // Pure post-transmission backoff completed; pull the next frame if any.
+    if (!queue_.empty()) {
+      current_ = queue_.front();
+      queue_.pop_front();
+      retry_ = 0;
+    } else {
+      return;
+    }
+  }
+  transmit_current();
+}
+
+void DcfMac::transmit_current() {
+  assert(current_.has_value());
+  assert(!transmitting_);
+  const MacTxRequest& req = *current_;
+  const bool broadcast = req.link_dst == kBroadcast;
+
+  Frame f;
+  f.dst = req.link_dst;
+  f.type = FrameType::kData;
+  f.rate = req.rate;
+  f.net_bytes = req.net_bytes;
+  f.air_bytes = req.net_bytes + t_.mac_header_bytes + t_.llc_bytes;
+  f.net_id = req.net_id;
+  if (retry_ == 0 && !broadcast) awaited_ack_seq_ = next_seq_++;
+  f.mac_seq = broadcast ? next_seq_++ : awaited_ack_seq_;
+
+  const TimeNs dur = frame_duration(t_, f.air_bytes, f.rate);
+  transmitting_ = true;
+  ++stats_.tx_attempts;
+  channel_.start_tx(id_, f, dur);
+  sim_.schedule(dur, [this] { on_data_tx_end(); });
+}
+
+void DcfMac::on_data_tx_end() {
+  transmitting_ = false;
+  assert(current_.has_value());
+  if (current_->link_dst == kBroadcast) {
+    complete_current(true);
+    return;
+  }
+  waiting_ack_ = true;
+  const TimeNs timeout = t_.sifs + ack_duration(t_) + 2 * t_.slot;
+  ack_timeout_ev_ = sim_.schedule(timeout, [this] {
+    ack_timeout_ev_ = kNoEvent;
+    on_ack_timeout();
+  });
+}
+
+void DcfMac::on_ack_timeout() {
+  waiting_ack_ = false;
+  ++retry_;
+  if (retry_ >= t_.retry_limit) {
+    ++stats_.tx_dropped;
+    complete_current(false);
+    return;
+  }
+  begin_backoff(retry_);
+  resume_countdown();
+}
+
+void DcfMac::complete_current(bool success) {
+  assert(current_.has_value());
+  const MacTxRequest done = *current_;
+  current_.reset();
+  retry_ = 0;
+  if (success) ++stats_.tx_success;
+  // Post-transmission backoff at stage 0, as the standard requires.
+  begin_backoff(0);
+  resume_countdown();
+  if (upper_ != nullptr) upper_->mac_tx_done(done, success);
+  // The upper layer may have enqueued more; if the post-backoff already ran
+  // (it cannot have: it needs at least DIFS), the queue pull happens in
+  // on_countdown_done.
+}
+
+void DcfMac::send_ack(NodeId to, std::uint64_t seq) {
+  if (transmitting_) return;  // half duplex: cannot ACK mid-transmission
+  Frame ack;
+  ack.dst = to;
+  ack.type = FrameType::kAck;
+  ack.rate = t_.ack_rate;
+  ack.air_bytes = t_.ack_bytes;
+  ack.net_bytes = 0;
+  ack.mac_seq = seq;
+  const TimeNs dur = ack_duration(t_);
+  transmitting_ = true;
+  channel_.start_tx(id_, ack, dur);
+  sim_.schedule(dur, [this] {
+    transmitting_ = false;
+    resume_countdown();
+  });
+}
+
+void DcfMac::phy_rx_done(const Frame& frame) {
+  next_ifs_is_eifs_ = false;  // correct reception cancels EIFS deferral
+  if (frame.type == FrameType::kAck) {
+    if (frame.dst == id_ && waiting_ack_ &&
+        frame.mac_seq == awaited_ack_seq_) {
+      sim_.cancel(ack_timeout_ev_);
+      ack_timeout_ev_ = kNoEvent;
+      waiting_ack_ = false;
+      complete_current(true);
+    }
+    return;
+  }
+  // DATA
+  if (frame.dst == id_) {
+    // ACK even duplicates (the sender's ACK may have been lost).
+    sim_.schedule(t_.sifs, [this, src = frame.tx, seq = frame.mac_seq] {
+      send_ack(src, seq);
+    });
+    const auto it = last_rx_seq_.find(frame.tx);
+    if (it != last_rx_seq_.end() && it->second == frame.mac_seq) {
+      ++stats_.rx_duplicates;
+      return;
+    }
+    last_rx_seq_[frame.tx] = frame.mac_seq;
+    ++stats_.rx_delivered;
+    if (upper_ != nullptr)
+      upper_->mac_rx(frame.tx, frame.net_id, frame.net_bytes, false);
+  } else if (frame.dst == kBroadcast) {
+    ++stats_.rx_delivered;
+    if (upper_ != nullptr)
+      upper_->mac_rx(frame.tx, frame.net_id, frame.net_bytes, true);
+  }
+}
+
+void DcfMac::phy_rx_corrupted() { next_ifs_is_eifs_ = true; }
+
+}  // namespace meshopt

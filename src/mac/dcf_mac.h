@@ -1,0 +1,127 @@
+#pragma once
+// IEEE 802.11 DCF (basic access, RTS/CTS disabled — as in the paper).
+//
+// Behavior modeled:
+//   * slotted binary-exponential backoff with freeze/resume on carrier
+//     sense, always performed before a transmission (the post-transmission
+//     backoff of a saturated station — which is also what the paper's
+//     capacity formula assumes),
+//   * DATA/ACK exchange with SIFS turnaround, ACK timeout, retry limit and
+//     contention-window escalation,
+//   * broadcast frames: single transmission, no ACK, stage-0 window only
+//     (this is why the paper's probes see the raw MAC loss process),
+//   * EIFS deferral after a corrupted reception,
+//   * receiver-side duplicate filtering.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "mac/airtime.h"
+#include "phy/channel.h"
+#include "phy/frame.h"
+#include "phy/radio.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace meshopt {
+
+/// A network-layer transmission request handed to the MAC.
+struct MacTxRequest {
+  NodeId link_dst = kBroadcast;  ///< next hop, or kBroadcast
+  int net_bytes = 0;             ///< network payload size (IP packet)
+  Rate rate = Rate::kR1Mbps;
+  std::uint64_t net_id = 0;      ///< upper-layer handle, round-tripped
+};
+
+/// Callbacks toward the network layer.
+class MacSap {
+ public:
+  virtual ~MacSap() = default;
+  /// Local transmission finished (ACKed, broadcast sent, or dropped).
+  virtual void mac_tx_done(const MacTxRequest& req, bool success) = 0;
+  /// A frame for this node (or broadcast) was received; net_id/net_bytes
+  /// identify the packet, src is the link-level sender.
+  virtual void mac_rx(NodeId src, std::uint64_t net_id, int net_bytes,
+                      bool broadcast) = 0;
+};
+
+/// Per-MAC counters, exposed for tests and diagnostics.
+struct MacStats {
+  std::uint64_t tx_attempts = 0;
+  std::uint64_t tx_success = 0;
+  std::uint64_t tx_dropped = 0;     ///< retry limit exceeded
+  std::uint64_t rx_delivered = 0;
+  std::uint64_t rx_duplicates = 0;
+  std::uint64_t queue_rejections = 0;
+};
+
+class DcfMac final : public PhySap {
+ public:
+  DcfMac(Simulator& sim, Channel& channel, MacTimings timings, RngStream rng,
+         MacSap* upper);
+
+  DcfMac(const DcfMac&) = delete;
+  DcfMac& operator=(const DcfMac&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const MacTimings& timings() const { return t_; }
+  [[nodiscard]] const MacStats& stats() const { return stats_; }
+
+  void set_queue_capacity(std::size_t cap) { queue_capacity_ = cap; }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const { return queue_capacity_; }
+
+  /// Enqueue a frame for transmission. Returns false (and drops) when the
+  /// interface queue is full.
+  bool enqueue(const MacTxRequest& req);
+
+  // PhySap
+  void phy_busy_changed(bool busy) override;
+  void phy_rx_done(const Frame& frame) override;
+  void phy_rx_corrupted() override;
+
+ private:
+  void try_dequeue_and_contend();
+  void begin_backoff(int stage);
+  void resume_countdown();
+  void freeze_countdown();
+  void on_countdown_done();
+  void transmit_current();
+  void on_data_tx_end();
+  void on_ack_timeout();
+  void complete_current(bool success);
+  void send_ack(NodeId to, std::uint64_t seq);
+  [[nodiscard]] bool medium_busy() const;
+
+  Simulator& sim_;
+  Channel& channel_;
+  MacTimings t_;
+  RngStream rng_;
+  MacSap* upper_;
+  NodeId id_;
+
+  std::deque<MacTxRequest> queue_;
+  std::size_t queue_capacity_ = 64;
+
+  std::optional<MacTxRequest> current_;
+  int retry_ = 0;
+  int backoff_slots_ = 0;
+  bool backoff_pending_ = false;  ///< a drawn backoff not yet elapsed
+  bool transmitting_ = false;
+  bool waiting_ack_ = false;
+  bool next_ifs_is_eifs_ = false;
+
+  EventId countdown_ev_ = kNoEvent;
+  TimeNs countdown_anchor_ = 0;  ///< when the current IFS+backoff started
+  EventId ack_timeout_ev_ = kNoEvent;
+
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t awaited_ack_seq_ = 0;
+  std::unordered_map<NodeId, std::uint64_t> last_rx_seq_;
+
+  MacStats stats_;
+};
+
+}  // namespace meshopt

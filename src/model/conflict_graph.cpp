@@ -1,0 +1,148 @@
+#include "model/conflict_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace meshopt {
+
+ConflictGraph::ConflictGraph(int num_links)
+    : n_(num_links),
+      adj_(static_cast<std::size_t>(num_links),
+           std::vector<char>(static_cast<std::size_t>(num_links), 0)) {}
+
+void ConflictGraph::add_conflict(int a, int b) {
+  if (a == b) return;
+  adj_.at(static_cast<std::size_t>(a)).at(static_cast<std::size_t>(b)) = 1;
+  adj_.at(static_cast<std::size_t>(b)).at(static_cast<std::size_t>(a)) = 1;
+}
+
+bool ConflictGraph::conflicts(int a, int b) const {
+  return adj_.at(static_cast<std::size_t>(a))
+             .at(static_cast<std::size_t>(b)) != 0;
+}
+
+int ConflictGraph::edge_count() const {
+  int count = 0;
+  for (int i = 0; i < n_; ++i)
+    for (int j = i + 1; j < n_; ++j)
+      if (adj_[std::size_t(i)][std::size_t(j)]) ++count;
+  return count;
+}
+
+namespace {
+
+/// Bron–Kerbosch with pivoting over the *complement* adjacency: cliques of
+/// the complement are independent sets of the conflict graph.
+class BronKerbosch {
+ public:
+  BronKerbosch(const std::vector<std::vector<char>>& conflict_adj,
+               std::size_t cap)
+      : adj_(conflict_adj), n_(static_cast<int>(conflict_adj.size())),
+        cap_(cap) {}
+
+  [[nodiscard]] std::vector<std::vector<int>> run() {
+    std::vector<int> r, p, x;
+    p.reserve(static_cast<std::size_t>(n_));
+    for (int v = 0; v < n_; ++v) p.push_back(v);
+    expand(r, p, x);
+    return std::move(out_);
+  }
+
+ private:
+  /// Complement-graph adjacency: independent in the conflict graph.
+  [[nodiscard]] bool compatible(int a, int b) const {
+    return a != b && adj_[std::size_t(a)][std::size_t(b)] == 0;
+  }
+
+  void expand(std::vector<int>& r, std::vector<int> p, std::vector<int> x) {
+    if (out_.size() >= cap_) return;
+    if (p.empty() && x.empty()) {
+      out_.push_back(r);
+      return;
+    }
+    // Pivot: vertex of P ∪ X with most complement-neighbors in P.
+    int pivot = -1, best = -1;
+    for (const auto& set : {p, x}) {
+      for (int u : set) {
+        int deg = 0;
+        for (int v : p)
+          if (compatible(u, v)) ++deg;
+        if (deg > best) {
+          best = deg;
+          pivot = u;
+        }
+      }
+    }
+    std::vector<int> candidates;
+    for (int v : p)
+      if (pivot < 0 || !compatible(pivot, v)) candidates.push_back(v);
+
+    for (int v : candidates) {
+      std::vector<int> p2, x2;
+      for (int w : p)
+        if (compatible(v, w)) p2.push_back(w);
+      for (int w : x)
+        if (compatible(v, w)) x2.push_back(w);
+      r.push_back(v);
+      expand(r, std::move(p2), std::move(x2));
+      r.pop_back();
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+      if (out_.size() >= cap_) return;
+    }
+  }
+
+  const std::vector<std::vector<char>>& adj_;
+  int n_;
+  std::size_t cap_;
+  std::vector<std::vector<int>> out_;
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> ConflictGraph::maximal_independent_sets(
+    std::size_t cap) const {
+  if (n_ == 0) return {};
+  BronKerbosch bk(adj_, cap);
+  auto sets = bk.run();
+  for (auto& s : sets) std::sort(s.begin(), s.end());
+  std::sort(sets.begin(), sets.end());
+  return sets;
+}
+
+ConflictGraph build_lir_conflict_graph(
+    const std::vector<std::vector<double>>& lir, double threshold) {
+  const int n = static_cast<int>(lir.size());
+  ConflictGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    if (static_cast<int>(lir[std::size_t(i)].size()) != n)
+      throw std::invalid_argument("LIR table must be square");
+    for (int j = i + 1; j < n; ++j) {
+      if (lir[std::size_t(i)][std::size_t(j)] < threshold) g.add_conflict(i, j);
+    }
+  }
+  return g;
+}
+
+ConflictGraph build_two_hop_conflict_graph(
+    const std::vector<LinkRef>& links,
+    const std::function<bool(NodeId, NodeId)>& is_neighbor) {
+  const int n = static_cast<int>(links.size());
+  ConflictGraph g(n);
+  const auto close = [&](NodeId a, NodeId b) {
+    return a == b || is_neighbor(a, b);
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const LinkRef& l1 = links[std::size_t(i)];
+      const LinkRef& l2 = links[std::size_t(j)];
+      const bool conflict =
+          close(l1.src, l2.src) || close(l1.src, l2.dst) ||
+          close(l1.dst, l2.src) || close(l1.dst, l2.dst);
+      if (conflict) g.add_conflict(i, j);
+    }
+  }
+  return g;
+}
+
+}  // namespace meshopt

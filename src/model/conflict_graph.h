@@ -1,0 +1,55 @@
+#pragma once
+// Conflict graph over directed links (paper Section 3.2): vertices are
+// links, edges mean "mutually exclusive under binary interference". Its
+// maximal independent sets are the link sets that can transmit
+// simultaneously — they generate the secondary extreme points.
+//
+// Two builders are provided:
+//   * binary-LIR: an edge wherever the measured LIR of the pair is below
+//     the threshold (the paper's reference model, Section 4.2),
+//   * two-hop: an edge wherever any endpoint of one link is within one
+//     hop of an endpoint of the other (the online model, Section 5.5).
+
+#include <functional>
+#include <vector>
+
+#include "phy/radio.h"
+#include "scenario/workbench.h"
+
+namespace meshopt {
+
+class ConflictGraph {
+ public:
+  explicit ConflictGraph(int num_links);
+
+  [[nodiscard]] int size() const { return n_; }
+
+  void add_conflict(int a, int b);
+  [[nodiscard]] bool conflicts(int a, int b) const;
+
+  [[nodiscard]] int edge_count() const;
+
+  /// All maximal independent sets (maximal cliques of the complement),
+  /// enumerated with Bron–Kerbosch + pivoting. `cap` bounds the output as
+  /// a safety valve; testbed-scale graphs stay far below it.
+  [[nodiscard]] std::vector<std::vector<int>> maximal_independent_sets(
+      std::size_t cap = 200000) const;
+
+ private:
+  int n_;
+  std::vector<std::vector<char>> adj_;
+};
+
+/// Binary-LIR conflict graph from a pairwise LIR table (entry (i,j) is the
+/// measured LIR of links i and j; diagonal ignored).
+[[nodiscard]] ConflictGraph build_lir_conflict_graph(
+    const std::vector<std::vector<double>>& lir, double threshold = 0.95);
+
+/// Two-hop interference model: links conflict when they share an endpoint
+/// or have endpoints within one hop of each other. `is_neighbor` is the
+/// connectivity predicate (decodable in either direction).
+[[nodiscard]] ConflictGraph build_two_hop_conflict_graph(
+    const std::vector<LinkRef>& links,
+    const std::function<bool(NodeId, NodeId)>& is_neighbor);
+
+}  // namespace meshopt

@@ -1,0 +1,80 @@
+#include "model/feasibility.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "opt/simplex.h"
+
+namespace meshopt {
+
+std::vector<std::vector<double>> build_extreme_points(
+    const std::vector<double>& capacities, const ConflictGraph& conflicts) {
+  const int l = static_cast<int>(capacities.size());
+  if (conflicts.size() != l)
+    throw std::invalid_argument(
+        "extreme points: conflict graph size != link count");
+  std::vector<std::vector<double>> points;
+  for (const auto& mis : conflicts.maximal_independent_sets()) {
+    std::vector<double> c(static_cast<std::size_t>(l), 0.0);
+    for (int link : mis)
+      c[static_cast<std::size_t>(link)] =
+          capacities[static_cast<std::size_t>(link)];
+    points.push_back(std::move(c));
+  }
+  return points;
+}
+
+FeasibilityRegion::FeasibilityRegion(
+    std::vector<std::vector<double>> extreme_points)
+    : points_(std::move(extreme_points)) {
+  if (points_.empty())
+    throw std::invalid_argument("feasibility region needs >= 1 extreme point");
+  l_ = static_cast<int>(points_.front().size());
+  for (const auto& p : points_)
+    if (static_cast<int>(p.size()) != l_)
+      throw std::invalid_argument("extreme point arity mismatch");
+}
+
+double FeasibilityRegion::max_scaling(const std::vector<double>& load) const {
+  if (static_cast<int>(load.size()) != l_)
+    throw std::invalid_argument("load arity mismatch");
+  bool any_positive = false;
+  for (double g : load)
+    if (g > 0.0) any_positive = true;
+  if (!any_positive) return std::numeric_limits<double>::infinity();
+
+  // Variables: alpha_0..alpha_{K-1}, lambda. Maximize lambda subject to
+  //   sum_k alpha_k c_kl - lambda g_l >= 0   for each link l,
+  //   sum_k alpha_k = 1, alpha >= 0, lambda >= 0.
+  const int k = num_points();
+  LpProblem lp;
+  lp.num_vars = k + 1;
+  lp.objective.assign(static_cast<std::size_t>(k) + 1, 0.0);
+  lp.objective.back() = 1.0;
+
+  for (int l = 0; l < l_; ++l) {
+    std::vector<double> row(static_cast<std::size_t>(k) + 1, 0.0);
+    for (int i = 0; i < k; ++i)
+      row[static_cast<std::size_t>(i)] =
+          points_[static_cast<std::size_t>(i)][static_cast<std::size_t>(l)];
+    row.back() = -load[static_cast<std::size_t>(l)];
+    lp.add_constraint(std::move(row), Relation::kGe, 0.0);
+  }
+  std::vector<double> simplex_row(static_cast<std::size_t>(k) + 1, 1.0);
+  simplex_row.back() = 0.0;
+  lp.add_constraint(std::move(simplex_row), Relation::kEq, 1.0);
+
+  const LpSolution sol = solve_lp(lp);
+  if (sol.status == LpStatus::kUnbounded)
+    return std::numeric_limits<double>::infinity();
+  if (sol.status != LpStatus::kOptimal) return 0.0;
+  return sol.x.back();
+}
+
+bool FeasibilityRegion::contains(const std::vector<double>& load,
+                                 double tol) const {
+  return max_scaling(load) >= 1.0 - tol;
+}
+
+}  // namespace meshopt

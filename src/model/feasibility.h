@@ -1,0 +1,49 @@
+#pragma once
+// Convex feasibility-region model (paper Section 3).
+//
+// The region is the convex hull of K extreme points in link-rate space
+// (L dimensions), closed downward (any rate vector dominated by a hull
+// point is feasible — a link can always send less). Primary extreme points
+// are per-link capacities; secondary points come from maximal independent
+// sets via Eq. (4).
+
+#include <vector>
+
+#include "model/conflict_graph.h"
+
+namespace meshopt {
+
+/// Eq. (4): map each maximal independent set m to a secondary extreme
+/// point c2[m] = C(1) * v[m], i.e. the vector holding each member link's
+/// capacity and zero elsewhere.
+[[nodiscard]] std::vector<std::vector<double>> build_extreme_points(
+    const std::vector<double>& capacities, const ConflictGraph& conflicts);
+
+/// Convex polytope spanned by extreme points, with downward closure.
+class FeasibilityRegion {
+ public:
+  /// `extreme_points` is K x L (each row one extreme point).
+  explicit FeasibilityRegion(std::vector<std::vector<double>> extreme_points);
+
+  [[nodiscard]] int num_links() const { return l_; }
+  [[nodiscard]] int num_points() const {
+    return static_cast<int>(points_.size());
+  }
+  [[nodiscard]] const std::vector<std::vector<double>>& points() const {
+    return points_;
+  }
+
+  /// Largest lambda such that lambda * load is feasible (dominated by a
+  /// convex combination of extreme points). Returns +inf for a zero load.
+  [[nodiscard]] double max_scaling(const std::vector<double>& load) const;
+
+  /// Is the load vector inside the region (within tolerance)?
+  [[nodiscard]] bool contains(const std::vector<double>& load,
+                              double tol = 1e-6) const;
+
+ private:
+  int l_ = 0;
+  std::vector<std::vector<double>> points_;
+};
+
+}  // namespace meshopt

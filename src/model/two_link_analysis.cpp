@@ -1,0 +1,60 @@
+#include "model/two_link_analysis.h"
+
+#include <algorithm>
+
+#include "util/mathfit.h"
+
+namespace meshopt {
+
+double TwoLinkGeometry::a1() const { return 0.5 * c11 * c22; }
+
+double TwoLinkGeometry::a2() const {
+  // Quadrilateral (0,0) (c11,0) (c31,c32) (0,c22) minus the triangle; only
+  // counts when the secondary point lies beyond the time-sharing line.
+  const Point2 quad[] = {{0.0, 0.0}, {c11, 0.0}, {c31, c32}, {0.0, c22}};
+  const double total = polygon_area(quad);
+  return std::max(0.0, total - a1());
+}
+
+double TwoLinkGeometry::fn_error_if_interfering() const {
+  const double t = a1() + a2();
+  return t > 0.0 ? a2() / t : 0.0;
+}
+
+double TwoLinkGeometry::fp_error_if_independent() const {
+  const double t = a1() + a2();
+  return t > 0.0 ? std::max(0.0, c11 * c22 - t) / t : 0.0;
+}
+
+double TwoLinkGeometry::fn_error(double lir_threshold) const {
+  return lir() < lir_threshold ? fn_error_if_interfering() : 0.0;
+}
+
+double TwoLinkGeometry::fp_error(double lir_threshold) const {
+  return lir() < lir_threshold ? 0.0 : fp_error_if_independent();
+}
+
+TwoLinkGeometry proportional_realization(double c11, double c22, double lir) {
+  TwoLinkGeometry g;
+  g.c11 = c11;
+  g.c22 = c22;
+  g.c31 = std::min(lir, 1.0) * c11;
+  g.c32 = std::min(lir, 1.0) * c22;
+  return g;
+}
+
+ExpectedErrors expected_errors(const std::vector<double>& lirs,
+                               double threshold, double c11, double c22) {
+  ExpectedErrors e;
+  if (lirs.empty()) return e;
+  for (double lir : lirs) {
+    const TwoLinkGeometry g = proportional_realization(c11, c22, lir);
+    e.fp += g.fp_error(threshold);
+    e.fn += g.fn_error(threshold);
+  }
+  e.fp /= static_cast<double>(lirs.size());
+  e.fn /= static_cast<double>(lirs.size());
+  return e;
+}
+
+}  // namespace meshopt

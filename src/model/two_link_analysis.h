@@ -1,0 +1,58 @@
+#pragma once
+// Analytic FP/FN error computation for the binary LIR model on a link pair
+// (paper Section 4.4, Figure 6).
+//
+// Geometry: the primary points (c11,0), (0,c22) span the time-sharing
+// triangle A1; the secondary point (c31,c32) extends it to the
+// quadrilateral A1+A2 (the three-point model, taken as the true region).
+// Classifying the pair as "interfering" keeps only A1 (FN error
+// A2/(A1+A2)); classifying it "non-interfering" claims the full rectangle
+// (FP error (c11*c22 - (A1+A2))/(A1+A2)).
+
+#include <vector>
+
+namespace meshopt {
+
+struct TwoLinkGeometry {
+  double c11 = 0.0, c22 = 0.0;  ///< primary extreme points
+  double c31 = 0.0, c32 = 0.0;  ///< secondary (simultaneous) point
+
+  [[nodiscard]] double lir() const {
+    const double d = c11 + c22;
+    return d > 0.0 ? (c31 + c32) / d : 1.0;
+  }
+
+  /// Time-sharing triangle area.
+  [[nodiscard]] double a1() const;
+  /// Extra area unlocked by the three-point model (clamped at 0 when the
+  /// secondary point lies inside the triangle).
+  [[nodiscard]] double a2() const;
+
+  /// FN error if classified interfering: A2 / (A1+A2).
+  [[nodiscard]] double fn_error_if_interfering() const;
+  /// FP error if classified non-interfering:
+  /// (c11*c22 - (A1+A2)) / (A1+A2).
+  [[nodiscard]] double fp_error_if_independent() const;
+
+  /// Errors the binary LIR model commits at a given threshold.
+  [[nodiscard]] double fn_error(double lir_threshold) const;
+  [[nodiscard]] double fp_error(double lir_threshold) const;
+};
+
+/// Construct the proportional realization of an LIR value: the secondary
+/// point on the LIR line with c3i proportional to cii (c3i = lir * cii).
+[[nodiscard]] TwoLinkGeometry proportional_realization(double c11, double c22,
+                                                       double lir);
+
+/// Expected FP/FN errors of the binary LIR model over an observed LIR
+/// distribution (paper: FP ~2%, FN ~13.3% at threshold 0.95 for their
+/// testbed's distribution), using the proportional realization.
+struct ExpectedErrors {
+  double fp = 0.0;
+  double fn = 0.0;
+};
+[[nodiscard]] ExpectedErrors expected_errors(const std::vector<double>& lirs,
+                                             double threshold, double c11 = 1.0,
+                                             double c22 = 1.0);
+
+}  // namespace meshopt

@@ -1,0 +1,64 @@
+#include "net/network.h"
+
+#include <string>
+
+namespace meshopt {
+
+Network::Network(Simulator& sim, Channel& channel, std::uint64_t seed)
+    : sim_(sim), channel_(channel), seed_(seed) {}
+
+NodeId Network::add_node(const MacTimings& timings) {
+  const auto idx = nodes_.size();
+  RngStream rng(seed_, "mac-" + std::to_string(idx));
+  nodes_.push_back(
+      std::make_unique<Node>(*this, sim_, channel_, timings, rng));
+  return nodes_.back()->id();
+}
+
+int Network::open_flow(NodeId src, NodeId dst, Protocol proto,
+                       int payload_bytes) {
+  FlowRecord rec;
+  rec.id = static_cast<int>(flows_.size());
+  rec.src = src;
+  rec.dst = dst;
+  rec.proto = proto;
+  rec.payload_bytes = payload_bytes;
+  flows_.push_back(std::move(rec));
+  return flows_.back().id;
+}
+
+void Network::reset_flow_counters() {
+  for (auto& f : flows_) f.reset_counters();
+}
+
+void Network::flow_delivered(const Packet& p) {
+  if (p.flow < 0 || p.flow >= flow_count()) return;
+  FlowRecord& f = flows_[static_cast<std::size_t>(p.flow)];
+  ++f.delivered_packets;
+  f.delivered_payload_bytes += static_cast<std::uint64_t>(f.payload_bytes);
+  if (f.first_delivery < 0) f.first_delivery = sim_.now();
+  f.last_delivery = sim_.now();
+  if (f.on_delivery) f.on_delivery(p);
+}
+
+void Network::set_path_routes(const std::vector<NodeId>& path, Rate rate) {
+  if (path.size() < 2) return;
+  const NodeId dst = path.back();
+  const NodeId src = path.front();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    node(path[i]).set_route(dst, path[i + 1]);
+    node(path[i]).set_link_rate(path[i + 1], rate);
+    // Reverse direction (for TCP ACKs / symmetric traffic).
+    node(path[i + 1]).set_route(src, path[i]);
+    node(path[i + 1]).set_link_rate(path[i], rate);
+  }
+  // Intermediate hops also need routes for the end-to-end addresses.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    for (std::size_t j = i + 1; j < path.size(); ++j) {
+      node(path[i]).set_route(path[j], path[i + 1]);
+      node(path[j]).set_route(path[i], path[j - 1]);
+    }
+  }
+}
+
+}  // namespace meshopt

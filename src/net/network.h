@@ -1,0 +1,97 @@
+#pragma once
+// Container for a simulated mesh: the nodes, the shared packet store, and a
+// registry of end-to-end flows with delivery accounting. Benchmarks read
+// flow counters; transports register delivery callbacks.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/node.h"
+#include "net/packet_store.h"
+#include "phy/channel.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace meshopt {
+
+/// Accounting for one end-to-end flow.
+struct FlowRecord {
+  int id = -1;
+  NodeId src = -1;
+  NodeId dst = -1;
+  Protocol proto = Protocol::kUdp;
+  int payload_bytes = 0;  ///< transport payload per packet
+
+  std::uint64_t sent_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t delivered_payload_bytes = 0;
+  TimeNs first_delivery = -1;
+  TimeNs last_delivery = -1;
+
+  /// Optional delivery callback (used by TCP receivers and tests).
+  std::function<void(const Packet&)> on_delivery;
+
+  void reset_counters() {
+    sent_packets = 0;
+    delivered_packets = 0;
+    delivered_payload_bytes = 0;
+    first_delivery = -1;
+    last_delivery = -1;
+  }
+
+  /// Mean delivered payload rate (bits/s) over a window of `window_s`.
+  [[nodiscard]] double throughput_bps(double window_s) const {
+    if (window_s <= 0.0) return 0.0;
+    return 8.0 * static_cast<double>(delivered_payload_bytes) / window_s;
+  }
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, Channel& channel, std::uint64_t seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Create a node with the given MAC timing set.
+  NodeId add_node(const MacTimings& timings = MacTimings{});
+
+  [[nodiscard]] int node_count() const {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(std::size_t(id)); }
+  [[nodiscard]] const Node& node(NodeId id) const {
+    return *nodes_.at(std::size_t(id));
+  }
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] Channel& channel() { return channel_; }
+  [[nodiscard]] PacketStore& store() { return store_; }
+
+  // --- flows ---------------------------------------------------------------
+  int open_flow(NodeId src, NodeId dst, Protocol proto, int payload_bytes);
+  [[nodiscard]] FlowRecord& flow(int id) { return flows_.at(std::size_t(id)); }
+  [[nodiscard]] const FlowRecord& flow(int id) const {
+    return flows_.at(std::size_t(id));
+  }
+  [[nodiscard]] int flow_count() const { return static_cast<int>(flows_.size()); }
+  void reset_flow_counters();
+
+  /// Called by nodes when a packet reaches its end-to-end destination.
+  void flow_delivered(const Packet& p);
+
+  /// Install symmetric routes along an explicit node path (both directions),
+  /// and stamp per-hop link rates.
+  void set_path_routes(const std::vector<NodeId>& path, Rate rate);
+
+ private:
+  Simulator& sim_;
+  Channel& channel_;
+  std::uint64_t seed_;
+  PacketStore store_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<FlowRecord> flows_;
+};
+
+}  // namespace meshopt

@@ -1,0 +1,110 @@
+#include "net/node.h"
+
+#include "net/network.h"
+
+namespace meshopt {
+
+Node::Node(Network& net, Simulator& sim, Channel& channel, MacTimings timings,
+           RngStream rng)
+    : net_(net), mac_(sim, channel, timings, rng, this) {}
+
+NodeId Node::next_hop(NodeId dst) const {
+  const auto it = routes_.find(dst);
+  return it != routes_.end() ? it->second : -1;
+}
+
+Rate Node::link_rate(NodeId neighbor) const {
+  const auto it = link_rates_.find(neighbor);
+  return it != link_rates_.end() ? it->second : default_rate_;
+}
+
+bool Node::enqueue_toward(const Packet& p, NodeId next) {
+  MacTxRequest req;
+  req.link_dst = next;
+  req.net_bytes = p.bytes;
+  req.rate = next == kBroadcast ? p.probe_rate : link_rate(next);
+  req.net_id = net_.store().put(p);
+  if (!mac_.enqueue(req)) {
+    net_.store().release(req.net_id);
+    ++queue_drops;
+    return false;
+  }
+  return true;
+}
+
+bool Node::send(Packet p) {
+  const NodeId next = next_hop(p.dst);
+  if (next < 0) {
+    ++no_route_drops;
+    return false;
+  }
+  return enqueue_toward(p, next);
+}
+
+bool Node::send_broadcast(Packet p, Rate rate) {
+  p.probe_rate = rate;
+  return enqueue_toward(p, kBroadcast);
+}
+
+Node::HandlerId Node::add_handler(Protocol proto, PacketHandler h) {
+  const HandlerId id = next_handler_id_++;
+  handlers_[static_cast<std::uint8_t>(proto)].emplace_back(id, std::move(h));
+  return id;
+}
+
+void Node::remove_handler(Protocol proto, HandlerId id) {
+  auto it = handlers_.find(static_cast<std::uint8_t>(proto));
+  if (it == handlers_.end()) return;
+  auto& vec = it->second;
+  std::erase_if(vec, [id](const auto& entry) { return entry.first == id; });
+}
+
+void Node::set_flow_tx_hook(int flow, std::function<void(bool)> h) {
+  flow_tx_hooks_[flow] = std::move(h);
+}
+
+void Node::clear_flow_tx_hook(int flow) { flow_tx_hooks_.erase(flow); }
+
+void Node::mac_tx_done(const MacTxRequest& req, bool success) {
+  const Packet p = net_.store().peek(req.net_id);  // copy before release
+  net_.store().release(req.net_id);
+  const auto it = flow_tx_hooks_.find(p.flow);
+  if (it != flow_tx_hooks_.end()) it->second(success);
+}
+
+void Node::mac_rx(NodeId src, std::uint64_t net_id, int /*net_bytes*/,
+                  bool broadcast) {
+  Packet p = net_.store().peek(net_id);  // copy out; sender still owns it
+  if (broadcast) {
+    // Link-local broadcasts (probes) are never forwarded.
+    const auto it = handlers_.find(static_cast<std::uint8_t>(p.proto));
+    if (it != handlers_.end())
+      for (const auto& [_, h] : it->second) h(p, src);
+    return;
+  }
+  if (p.dst == id()) {
+    deliver_local(p, src);
+    return;
+  }
+  // Forward.
+  if (--p.ttl <= 0) {
+    ++ttl_drops;
+    return;
+  }
+  const NodeId next = next_hop(p.dst);
+  if (next < 0) {
+    ++no_route_drops;
+    return;
+  }
+  if (enqueue_toward(p, next)) ++forwarded;
+}
+
+void Node::deliver_local(const Packet& p, NodeId link_src) {
+  const auto it = handlers_.find(static_cast<std::uint8_t>(p.proto));
+  if (it != handlers_.end()) {
+    for (const auto& [_, h] : it->second) h(p, link_src);
+  }
+  net_.flow_delivered(p);
+}
+
+}  // namespace meshopt

@@ -1,0 +1,88 @@
+#pragma once
+// A mesh node's network layer: static routing table, per-neighbor link
+// rates, packet forwarding, and dispatch of received packets to protocol
+// handlers (transport, probing, etc.).
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "mac/dcf_mac.h"
+#include "net/packet.h"
+
+namespace meshopt {
+
+class Network;
+
+class Node final : public MacSap {
+ public:
+  Node(Network& net, Simulator& sim, Channel& channel, MacTimings timings,
+       RngStream rng);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return mac_.id(); }
+  [[nodiscard]] DcfMac& mac() { return mac_; }
+  [[nodiscard]] const DcfMac& mac() const { return mac_; }
+
+  // --- routing / link configuration -------------------------------------
+  void set_route(NodeId dst, NodeId next_hop) { routes_[dst] = next_hop; }
+  void clear_routes() { routes_.clear(); }
+  [[nodiscard]] NodeId next_hop(NodeId dst) const;
+  void set_link_rate(NodeId neighbor, Rate r) { link_rates_[neighbor] = r; }
+  void set_default_rate(Rate r) { default_rate_ = r; }
+  [[nodiscard]] Rate link_rate(NodeId neighbor) const;
+
+  // --- sending -----------------------------------------------------------
+  /// Send a locally originated unicast packet along the routing table.
+  /// Returns false if there is no route or the MAC queue rejected it.
+  bool send(Packet p);
+
+  /// Broadcast a link-local packet (probes) at an explicit rate.
+  bool send_broadcast(Packet p, Rate rate);
+
+  // --- handler registration ----------------------------------------------
+  using PacketHandler = std::function<void(const Packet&, NodeId link_src)>;
+  using HandlerId = std::uint64_t;
+  /// Register a handler for unicast packets terminating here / broadcast
+  /// packets heard. Multiple handlers per protocol are all invoked (each
+  /// one filters for its own flows). The returned id must be passed to
+  /// remove_handler before the handler's captures die.
+  HandlerId add_handler(Protocol proto, PacketHandler h);
+  void remove_handler(Protocol proto, HandlerId id);
+
+  /// Per-flow transmission-complete hook at this node (fires when the MAC
+  /// finishes the first hop of a packet of that flow). Used by backlogged
+  /// sources to keep the queue fed.
+  void set_flow_tx_hook(int flow, std::function<void(bool success)> h);
+  void clear_flow_tx_hook(int flow);
+
+  // --- MacSap -------------------------------------------------------------
+  void mac_tx_done(const MacTxRequest& req, bool success) override;
+  void mac_rx(NodeId src, std::uint64_t net_id, int net_bytes,
+              bool broadcast) override;
+
+  // --- counters ------------------------------------------------------------
+  std::uint64_t forwarded = 0;
+  std::uint64_t no_route_drops = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t ttl_drops = 0;
+
+ private:
+  bool enqueue_toward(const Packet& p, NodeId next);
+  void deliver_local(const Packet& p, NodeId link_src);
+
+  Network& net_;
+  DcfMac mac_;
+  Rate default_rate_ = Rate::kR1Mbps;
+  std::unordered_map<NodeId, NodeId> routes_;
+  std::unordered_map<NodeId, Rate> link_rates_;
+  std::unordered_map<std::uint8_t,
+                     std::vector<std::pair<HandlerId, PacketHandler>>>
+      handlers_;
+  HandlerId next_handler_id_ = 1;
+  std::unordered_map<int, std::function<void(bool)>> flow_tx_hooks_;
+};
+
+}  // namespace meshopt

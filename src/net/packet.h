@@ -1,0 +1,47 @@
+#pragma once
+// Network-layer packet. Kept as one concrete value type: the handful of
+// protocol-specific fields are cheap and make the whole pipeline
+// copy-friendly (packets are forwarded by value, hop by hop).
+
+#include <cstdint>
+
+#include "phy/radio.h"
+#include "sim/simulator.h"
+
+namespace meshopt {
+
+enum class Protocol : std::uint8_t {
+  kUdp,        ///< measurement / data traffic
+  kTcpData,    ///< simplified TCP segment
+  kTcpAck,     ///< simplified TCP acknowledgment
+  kProbe,      ///< broadcast capacity-estimation probe (Section 5)
+  kPairProbe,  ///< AdHoc Probe packet-pair (baseline, Section 5.4)
+};
+
+/// Probe flavours: the paper sends DATA-sized probes at the link's data
+/// rate and ACK-sized probes at 1 Mb/s, to measure pDATA and pACK.
+enum class ProbeKind : std::uint8_t { kDataProbe, kAckProbe };
+
+struct Packet {
+  NodeId src = -1;  ///< end-to-end source
+  NodeId dst = -1;  ///< end-to-end destination (kBroadcast for probes)
+  int flow = -1;    ///< flow id (-1 for control traffic)
+  Protocol proto = Protocol::kUdp;
+  int bytes = 0;    ///< network-layer size (IP header + payload)
+  std::uint64_t seq = 0;
+  TimeNs created = 0;
+  int ttl = 32;
+
+  // Probe extras.
+  Rate probe_rate = Rate::kR1Mbps;
+  ProbeKind probe_kind = ProbeKind::kDataProbe;
+
+  // TCP extras.
+  std::uint64_t tcp_ack = 0;  ///< cumulative ack number (in segments)
+
+  // AdHoc Probe extras.
+  std::uint32_t pair_id = 0;
+  std::uint8_t pair_index = 0;  ///< 0 = first of pair, 1 = second
+};
+
+}  // namespace meshopt

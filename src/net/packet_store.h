@@ -1,0 +1,41 @@
+#pragma once
+// In-flight packet storage.
+//
+// The MAC layer carries only an opaque net_id; the actual Packet lives here
+// from enqueue until the sender's mac_tx_done. Receivers copy the packet
+// out at reception time (which the event ordering guarantees happens before
+// the sender releases it), so forwarding is copy-on-hop and there is no
+// shared ownership to get wrong.
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/packet.h"
+
+namespace meshopt {
+
+class PacketStore {
+ public:
+  [[nodiscard]] std::uint64_t put(const Packet& p) {
+    const std::uint64_t id = next_++;
+    map_.emplace(id, p);
+    return id;
+  }
+
+  [[nodiscard]] const Packet& peek(std::uint64_t id) const {
+    const auto it = map_.find(id);
+    assert(it != map_.end() && "packet store: unknown id");
+    return it->second;
+  }
+
+  void release(std::uint64_t id) { map_.erase(id); }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  std::uint64_t next_ = 1;
+  std::unordered_map<std::uint64_t, Packet> map_;
+};
+
+}  // namespace meshopt

@@ -1,0 +1,65 @@
+#include "net/shaper.h"
+
+#include <algorithm>
+
+namespace meshopt {
+
+TokenBucketShaper::TokenBucketShaper(Simulator& sim, double rate_bps,
+                                     int bucket_bytes, ForwardFn forward)
+    : sim_(sim),
+      rate_bps_(rate_bps),
+      bucket_bytes_(static_cast<double>(bucket_bytes)),
+      tokens_(static_cast<double>(bucket_bytes)),
+      last_refill_(sim.now()),
+      forward_(std::move(forward)) {}
+
+void TokenBucketShaper::set_rate_bps(double rate_bps) {
+  refill();
+  rate_bps_ = std::max(rate_bps, 0.0);
+  drain();
+}
+
+void TokenBucketShaper::refill() {
+  const TimeNs now = sim_.now();
+  const double elapsed_s = to_seconds(now - last_refill_);
+  last_refill_ = now;
+  tokens_ = std::min(bucket_bytes_, tokens_ + elapsed_s * rate_bps_ / 8.0);
+}
+
+void TokenBucketShaper::offer(const Packet& p, int payload_bytes) {
+  if (queue_.size() >= capacity_) {
+    ++drops_;
+    return;
+  }
+  // The bucket must hold at least one maximum-size packet, or that packet
+  // could never be released no matter how long it waits.
+  bucket_bytes_ = std::max(bucket_bytes_, static_cast<double>(payload_bytes));
+  queue_.emplace_back(p, payload_bytes);
+  drain();
+}
+
+void TokenBucketShaper::drain() {
+  refill();
+  while (!queue_.empty() &&
+         tokens_ >= static_cast<double>(queue_.front().second)) {
+    auto [p, bytes] = queue_.front();
+    queue_.pop_front();
+    tokens_ -= static_cast<double>(bytes);
+    forward_(p);
+  }
+  if (!queue_.empty()) schedule_drain();
+}
+
+void TokenBucketShaper::schedule_drain() {
+  if (drain_ev_ != kNoEvent) return;
+  if (rate_bps_ <= 0.0) return;  // starved until the rate is raised
+  const double deficit =
+      static_cast<double>(queue_.front().second) - tokens_;
+  const double wait_s = std::max(deficit, 0.0) * 8.0 / rate_bps_;
+  drain_ev_ = sim_.schedule(seconds(wait_s) + 1, [this] {
+    drain_ev_ = kNoEvent;
+    drain();
+  });
+}
+
+}  // namespace meshopt

@@ -1,0 +1,54 @@
+#pragma once
+// Token-bucket traffic shaper — the network-layer rate limiter the paper's
+// controller programs with the optimized rates (the Click BandwidthShaper
+// stand-in). Rates are in transport-payload bits per second, matching the
+// optimizer's y_s / x_s variables.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace meshopt {
+
+class TokenBucketShaper {
+ public:
+  using ForwardFn = std::function<void(const Packet&)>;
+
+  /// `rate_bps` counts packet payload bits; `bucket_bytes` is the burst
+  /// allowance in payload bytes.
+  TokenBucketShaper(Simulator& sim, double rate_bps, int bucket_bytes,
+                    ForwardFn forward);
+
+  /// Change the shaping rate (takes effect immediately; tokens preserved).
+  void set_rate_bps(double rate_bps);
+  [[nodiscard]] double rate_bps() const { return rate_bps_; }
+
+  /// Offer a packet; it is forwarded now if tokens allow, else queued.
+  /// `payload_bytes` is the amount charged against the bucket.
+  void offer(const Packet& p, int payload_bytes);
+
+  [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
+  void set_queue_capacity(std::size_t cap) { capacity_ = cap; }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+
+ private:
+  void refill();
+  void drain();
+  void schedule_drain();
+
+  Simulator& sim_;
+  double rate_bps_;
+  double bucket_bytes_;
+  double tokens_;
+  TimeNs last_refill_ = 0;
+  ForwardFn forward_;
+  std::deque<std::pair<Packet, int>> queue_;
+  std::size_t capacity_ = 256;
+  std::uint64_t drops_ = 0;
+  EventId drain_ev_ = kNoEvent;
+};
+
+}  // namespace meshopt

@@ -1,0 +1,321 @@
+#include "opt/network_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace meshopt {
+
+namespace {
+
+struct ProblemShape {
+  int links = 0;
+  int flows = 0;
+  int points = 0;
+  double scale = 1.0;  ///< capacities normalized by this for conditioning
+};
+
+ProblemShape shape_of(const OptimizerInput& in) {
+  ProblemShape s;
+  s.links = static_cast<int>(in.routing.size());
+  s.flows = s.links > 0 ? static_cast<int>(in.routing.front().size()) : 0;
+  s.points = static_cast<int>(in.extreme_points.size());
+  double max_cap = 0.0;
+  for (const auto& p : in.extreme_points)
+    for (double c : p) max_cap = std::max(max_cap, c);
+  s.scale = max_cap > 0.0 ? max_cap : 1.0;
+  return s;
+}
+
+/// Build the shared constraint set over variables (y_0..y_{S-1},
+/// alpha_0..alpha_{K-1}) with capacities scaled to ~1.
+LpProblem base_problem(const OptimizerInput& in, const ProblemShape& s) {
+  LpProblem lp;
+  lp.num_vars = s.flows + s.points;
+  lp.objective.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
+
+  for (int l = 0; l < s.links; ++l) {
+    std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
+    for (int f = 0; f < s.flows; ++f)
+      row[static_cast<std::size_t>(f)] =
+          in.routing[static_cast<std::size_t>(l)][static_cast<std::size_t>(f)];
+    for (int k = 0; k < s.points; ++k)
+      row[static_cast<std::size_t>(s.flows + k)] =
+          -in.extreme_points[static_cast<std::size_t>(k)]
+                            [static_cast<std::size_t>(l)] /
+          s.scale;
+    lp.add_constraint(std::move(row), Relation::kLe, 0.0);
+  }
+  // Convex weights sum to one.
+  std::vector<double> simplex_row(static_cast<std::size_t>(lp.num_vars), 0.0);
+  for (int k = 0; k < s.points; ++k)
+    simplex_row[static_cast<std::size_t>(s.flows + k)] = 1.0;
+  lp.add_constraint(std::move(simplex_row), Relation::kEq, 1.0);
+
+  // Safety cap: a flow crossing no modeled link would be unbounded.
+  for (int f = 0; f < s.flows; ++f) {
+    bool routed = false;
+    for (int l = 0; l < s.links; ++l)
+      if (in.routing[static_cast<std::size_t>(l)][static_cast<std::size_t>(f)] >
+          0.0)
+        routed = true;
+    if (!routed) {
+      std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
+      row[static_cast<std::size_t>(f)] = 1.0;
+      lp.add_constraint(std::move(row), Relation::kLe, 1.0);
+    }
+  }
+  return lp;
+}
+
+OptimizerResult unpack(const LpSolution& sol, const ProblemShape& s) {
+  OptimizerResult r;
+  if (sol.status != LpStatus::kOptimal) return r;
+  r.ok = true;
+  r.y.assign(static_cast<std::size_t>(s.flows), 0.0);
+  r.alpha_weights.assign(static_cast<std::size_t>(s.points), 0.0);
+  for (int f = 0; f < s.flows; ++f)
+    r.y[static_cast<std::size_t>(f)] =
+        sol.x[static_cast<std::size_t>(f)] * s.scale;
+  for (int k = 0; k < s.points; ++k)
+    r.alpha_weights[static_cast<std::size_t>(k)] =
+        sol.x[static_cast<std::size_t>(s.flows + k)];
+  return r;
+}
+
+OptimizerResult solve_max_throughput(const OptimizerInput& in,
+                                     const ProblemShape& s) {
+  LpProblem lp = base_problem(in, s);
+  for (int f = 0; f < s.flows; ++f)
+    lp.objective[static_cast<std::size_t>(f)] = 1.0;
+  OptimizerResult r = unpack(solve_lp(lp), s);
+  if (r.ok) {
+    r.objective_value = 0.0;
+    for (double y : r.y) r.objective_value += y;
+  }
+  return r;
+}
+
+/// Lexicographic max-min via iterative water-filling LPs.
+OptimizerResult solve_max_min(const OptimizerInput& in,
+                              const ProblemShape& s) {
+  std::vector<bool> fixed(static_cast<std::size_t>(s.flows), false);
+  std::vector<double> level(static_cast<std::size_t>(s.flows), 0.0);
+
+  for (int round = 0; round < s.flows; ++round) {
+    // Maximize t with y_f >= t for unfixed flows, y_f == level for fixed.
+    LpProblem lp = base_problem(in, s);
+    const int t_var = lp.num_vars;  // append t
+    lp.num_vars += 1;
+    for (auto& c : lp.constraints) c.coeffs.push_back(0.0);
+    lp.objective.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
+    lp.objective[static_cast<std::size_t>(t_var)] = 1.0;
+
+    for (int f = 0; f < s.flows; ++f) {
+      std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
+      row[static_cast<std::size_t>(f)] = 1.0;
+      if (fixed[static_cast<std::size_t>(f)]) {
+        lp.add_constraint(std::move(row), Relation::kEq,
+                          level[static_cast<std::size_t>(f)]);
+      } else {
+        row[static_cast<std::size_t>(t_var)] = -1.0;
+        lp.add_constraint(std::move(row), Relation::kGe, 0.0);
+      }
+    }
+    const LpSolution sol = solve_lp(lp);
+    if (sol.status != LpStatus::kOptimal) break;
+    const double t = sol.x[static_cast<std::size_t>(t_var)];
+
+    // Find which unfixed flows are actually capped at t: try to push each
+    // one above t while others stay >= t.
+    bool progressed = false;
+    for (int f = 0; f < s.flows; ++f) {
+      if (fixed[static_cast<std::size_t>(f)]) continue;
+      LpProblem push = base_problem(in, s);
+      push.objective.assign(static_cast<std::size_t>(push.num_vars), 0.0);
+      push.objective[static_cast<std::size_t>(f)] = 1.0;
+      for (int g = 0; g < s.flows; ++g) {
+        std::vector<double> row(static_cast<std::size_t>(push.num_vars), 0.0);
+        row[static_cast<std::size_t>(g)] = 1.0;
+        if (fixed[static_cast<std::size_t>(g)]) {
+          push.add_constraint(std::move(row), Relation::kEq,
+                              level[static_cast<std::size_t>(g)]);
+        } else {
+          push.add_constraint(std::move(row), Relation::kGe, t);
+        }
+      }
+      const LpSolution up = solve_lp(push);
+      const double reach =
+          up.status == LpStatus::kOptimal ? up.objective : t;
+      if (reach <= t + 1e-7) {
+        fixed[static_cast<std::size_t>(f)] = true;
+        level[static_cast<std::size_t>(f)] = t;
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      // Numerical corner: freeze everything at t.
+      for (int f = 0; f < s.flows; ++f) {
+        if (!fixed[static_cast<std::size_t>(f)]) {
+          fixed[static_cast<std::size_t>(f)] = true;
+          level[static_cast<std::size_t>(f)] = t;
+        }
+      }
+    }
+    if (std::all_of(fixed.begin(), fixed.end(), [](bool b) { return b; }))
+      break;
+  }
+
+  // Final solve with all levels pinned to recover alpha weights.
+  LpProblem lp = base_problem(in, s);
+  for (int f = 0; f < s.flows; ++f) {
+    std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
+    row[static_cast<std::size_t>(f)] = 1.0;
+    lp.add_constraint(std::move(row), Relation::kGe,
+                      level[static_cast<std::size_t>(f)] * (1.0 - 1e-9));
+  }
+  OptimizerResult r = unpack(solve_lp(lp), s);
+  if (r.ok) {
+    for (int f = 0; f < s.flows; ++f)
+      r.y[static_cast<std::size_t>(f)] =
+          level[static_cast<std::size_t>(f)] * s.scale;
+    r.objective_value =
+        *std::min_element(r.y.begin(), r.y.end());
+  }
+  return r;
+}
+
+/// Frank–Wolfe for strictly concave alpha-fair objectives.
+OptimizerResult solve_alpha_fair(const OptimizerInput& in,
+                                 const ProblemShape& s, double alpha,
+                                 int iterations, double tolerance) {
+  const AlphaFairUtility util(alpha, 1e-6);
+
+  // Interior-ish start: the max-min point keeps every flow positive.
+  OptimizerResult start = solve_max_min(in, s);
+  if (!start.ok) return start;
+
+  const int n = s.flows + s.points;
+  std::vector<double> z(static_cast<std::size_t>(n), 0.0);
+  for (int f = 0; f < s.flows; ++f)
+    z[static_cast<std::size_t>(f)] =
+        std::max(start.y[static_cast<std::size_t>(f)] / s.scale, 1e-6);
+  for (int k = 0; k < s.points; ++k)
+    z[static_cast<std::size_t>(s.flows + k)] =
+        start.alpha_weights[static_cast<std::size_t>(k)];
+
+  const auto objective = [&](const std::vector<double>& v) {
+    double acc = 0.0;
+    for (int f = 0; f < s.flows; ++f)
+      acc += util.value(v[static_cast<std::size_t>(f)]);
+    return acc;
+  };
+
+  LpProblem lp = base_problem(in, s);
+  OptimizerResult result;
+  int iter = 0;
+  for (; iter < iterations; ++iter) {
+    // Linear oracle at the current gradient.
+    lp.objective.assign(static_cast<std::size_t>(n), 0.0);
+    for (int f = 0; f < s.flows; ++f)
+      lp.objective[static_cast<std::size_t>(f)] =
+          util.gradient(z[static_cast<std::size_t>(f)]);
+    const LpSolution sol = solve_lp(lp);
+    if (sol.status != LpStatus::kOptimal) break;
+
+    // FW gap (scaled): grad . (v - z).
+    double gap = 0.0;
+    for (int f = 0; f < s.flows; ++f)
+      gap += lp.objective[static_cast<std::size_t>(f)] *
+             (sol.x[static_cast<std::size_t>(f)] -
+              z[static_cast<std::size_t>(f)]);
+    if (gap <= tolerance * (std::abs(objective(z)) + 1.0)) break;
+
+    // Golden-section line search on gamma in [0, 1].
+    const auto blend_obj = [&](double gamma) {
+      double acc = 0.0;
+      for (int f = 0; f < s.flows; ++f) {
+        const double y = (1.0 - gamma) * z[static_cast<std::size_t>(f)] +
+                         gamma * sol.x[static_cast<std::size_t>(f)];
+        acc += util.value(y);
+      }
+      return acc;
+    };
+    double lo = 0.0, hi = 1.0;
+    constexpr double kGolden = 0.3819660112501051;
+    double m1 = lo + kGolden * (hi - lo), m2 = hi - kGolden * (hi - lo);
+    double f1 = blend_obj(m1), f2 = blend_obj(m2);
+    for (int it = 0; it < 40; ++it) {
+      if (f1 < f2) {
+        lo = m1;
+        m1 = m2;
+        f1 = f2;
+        m2 = hi - kGolden * (hi - lo);
+        f2 = blend_obj(m2);
+      } else {
+        hi = m2;
+        m2 = m1;
+        f2 = f1;
+        m1 = lo + kGolden * (hi - lo);
+        f1 = blend_obj(m1);
+      }
+    }
+    const double gamma = 0.5 * (lo + hi);
+    for (int j = 0; j < n; ++j)
+      z[static_cast<std::size_t>(j)] =
+          (1.0 - gamma) * z[static_cast<std::size_t>(j)] +
+          gamma * sol.x[static_cast<std::size_t>(j)];
+  }
+
+  result.ok = true;
+  result.iterations = iter;
+  result.y.assign(static_cast<std::size_t>(s.flows), 0.0);
+  result.alpha_weights.assign(static_cast<std::size_t>(s.points), 0.0);
+  for (int f = 0; f < s.flows; ++f)
+    result.y[static_cast<std::size_t>(f)] =
+        z[static_cast<std::size_t>(f)] * s.scale;
+  for (int k = 0; k < s.points; ++k)
+    result.alpha_weights[static_cast<std::size_t>(k)] =
+        z[static_cast<std::size_t>(s.flows + k)];
+  result.objective_value = objective(z);
+  return result;
+}
+
+}  // namespace
+
+OptimizerResult optimize_rates(const OptimizerInput& input,
+                               const OptimizerConfig& config) {
+  const ProblemShape s = shape_of(input);
+  OptimizerResult empty;
+  if (s.flows == 0 || s.points == 0 || s.links == 0) return empty;
+  for (const auto& row : input.routing)
+    if (static_cast<int>(row.size()) != s.flows)
+      throw std::invalid_argument("routing matrix is ragged");
+  for (const auto& p : input.extreme_points)
+    if (static_cast<int>(p.size()) != s.links)
+      throw std::invalid_argument("extreme point arity != link count");
+
+  switch (config.objective) {
+    case Objective::kMaxThroughput:
+      return solve_max_throughput(input, s);
+    case Objective::kMaxMin:
+      return solve_max_min(input, s);
+    case Objective::kProportionalFair:
+      return solve_alpha_fair(input, s, 1.0, config.fw_iterations,
+                              config.tolerance);
+    case Objective::kAlphaFair:
+      return solve_alpha_fair(input, s, config.alpha, config.fw_iterations,
+                              config.tolerance);
+  }
+  return empty;
+}
+
+double tcp_ack_airtime_factor(int payload_bytes, int header_bytes,
+                              int ack_bytes) {
+  const double a = static_cast<double>(ack_bytes);
+  const double h = static_cast<double>(header_bytes);
+  const double d = static_cast<double>(payload_bytes);
+  return 1.0 - (a + h) / (a + h + d);
+}
+
+}  // namespace meshopt

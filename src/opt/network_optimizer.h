@@ -1,0 +1,64 @@
+#pragma once
+// The paper's optimization problem (Section 6.1):
+//
+//   maximize   sum_s U(y_s)
+//   subject to sum_s R_ls y_s <= sum_k alpha_k c_kl    for every link l
+//              sum_k alpha_k = 1,  alpha >= 0,  y >= 0
+//
+// Solved with:
+//   * simplex directly for the linear objectives (max aggregate
+//     throughput),
+//   * Frank–Wolfe with an LP oracle and golden-section line search for the
+//     strictly concave alpha-fair objectives (proportional fairness etc.),
+//   * lexicographic water-filling LPs for max-min fairness (the
+//     alpha -> infinity end of the family; an extension beyond the paper's
+//     evaluated objectives).
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/simplex.h"
+#include "opt/utility.h"
+
+namespace meshopt {
+
+enum class Objective : std::uint8_t {
+  kMaxThroughput,      ///< alpha = 0
+  kProportionalFair,   ///< alpha = 1
+  kAlphaFair,          ///< arbitrary alpha (config.alpha)
+  kMaxMin,             ///< alpha -> infinity
+};
+
+struct OptimizerConfig {
+  Objective objective = Objective::kProportionalFair;
+  double alpha = 1.0;          ///< used when objective == kAlphaFair
+  int fw_iterations = 300;
+  double tolerance = 1e-4;     ///< relative FW gap stop criterion
+};
+
+struct OptimizerInput {
+  /// R[l][s] = 1 if flow s crosses link l.
+  std::vector<std::vector<double>> routing;
+  /// K x L extreme points (bits/s).
+  std::vector<std::vector<double>> extreme_points;
+};
+
+struct OptimizerResult {
+  bool ok = false;
+  std::vector<double> y;              ///< per-flow rates (bits/s)
+  std::vector<double> alpha_weights;  ///< convex weights over extreme points
+  double objective_value = 0.0;
+  int iterations = 0;
+};
+
+[[nodiscard]] OptimizerResult optimize_rates(const OptimizerInput& input,
+                                             const OptimizerConfig& config);
+
+/// Scale factor the controller applies to TCP flows so the reverse-path
+/// ACKs get air time (paper Section 6.2, following [21]):
+/// (1 - (A+H)/(A+H+D)) with A=TCP ACK, H=IP/TCP headers, D=payload.
+[[nodiscard]] double tcp_ack_airtime_factor(int payload_bytes = 1460,
+                                            int header_bytes = 40,
+                                            int ack_bytes = 40);
+
+}  // namespace meshopt

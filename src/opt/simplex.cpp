@@ -1,0 +1,267 @@
+#include "opt/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace meshopt {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau operating on the standard-form problem.
+class Tableau {
+ public:
+  Tableau(const LpProblem& p) {
+    m_ = static_cast<int>(p.constraints.size());
+    n_orig_ = p.num_vars;
+
+    // Count extra columns: slack for <=, surplus for >=, artificial for
+    // >= and =.
+    int slack = 0, artificial = 0;
+    for (const auto& c : p.constraints) {
+      // After sign normalization rhs >= 0; relation may flip.
+      const Relation rel = c.rhs < 0.0 ? flip(c.rel) : c.rel;
+      if (rel == Relation::kLe) {
+        ++slack;
+      } else if (rel == Relation::kGe) {
+        ++slack;  // surplus
+        ++artificial;
+      } else {
+        ++artificial;
+      }
+    }
+    n_ = n_orig_ + slack + artificial;
+    first_artificial_ = n_ - artificial;
+
+    rows_.assign(static_cast<std::size_t>(m_),
+                 std::vector<double>(static_cast<std::size_t>(n_) + 1, 0.0));
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+
+    int next_slack = n_orig_;
+    int next_art = first_artificial_;
+    for (int i = 0; i < m_; ++i) {
+      const auto& c = p.constraints[static_cast<std::size_t>(i)];
+      if (static_cast<int>(c.coeffs.size()) != n_orig_)
+        throw std::invalid_argument("LP constraint arity mismatch");
+      const double sign = c.rhs < 0.0 ? -1.0 : 1.0;
+      const Relation rel = c.rhs < 0.0 ? flip(c.rel) : c.rel;
+      auto& row = rows_[static_cast<std::size_t>(i)];
+      for (int j = 0; j < n_orig_; ++j)
+        row[static_cast<std::size_t>(j)] = sign * c.coeffs[static_cast<std::size_t>(j)];
+      row[static_cast<std::size_t>(n_)] = sign * c.rhs;
+
+      if (rel == Relation::kLe) {
+        row[static_cast<std::size_t>(next_slack)] = 1.0;
+        basis_[static_cast<std::size_t>(i)] = next_slack++;
+      } else if (rel == Relation::kGe) {
+        row[static_cast<std::size_t>(next_slack++)] = -1.0;
+        row[static_cast<std::size_t>(next_art)] = 1.0;
+        basis_[static_cast<std::size_t>(i)] = next_art++;
+      } else {
+        row[static_cast<std::size_t>(next_art)] = 1.0;
+        basis_[static_cast<std::size_t>(i)] = next_art++;
+      }
+    }
+  }
+
+  /// Phase 1: minimize the sum of artificial variables.
+  [[nodiscard]] bool phase1() {
+    if (first_artificial_ == n_) return true;  // no artificials
+    // Objective: maximize -(sum of artificials).
+    obj_.assign(static_cast<std::size_t>(n_) + 1, 0.0);
+    for (int j = first_artificial_; j < n_; ++j)
+      obj_[static_cast<std::size_t>(j)] = -1.0;
+    make_reduced_costs_consistent();
+    if (!optimize()) return false;  // unbounded phase 1: cannot happen
+    // The z-row RHS holds -z; artificials left positive mean z < 0.
+    if (obj_[static_cast<std::size_t>(n_)] > 1e-7) return false;  // infeasible
+    drive_out_artificials();
+    return true;
+  }
+
+  /// Phase 2 with the real objective (maximize).
+  [[nodiscard]] LpStatus phase2(const std::vector<double>& c) {
+    obj_.assign(static_cast<std::size_t>(n_) + 1, 0.0);
+    for (int j = 0; j < n_orig_ && j < static_cast<int>(c.size()); ++j)
+      obj_[static_cast<std::size_t>(j)] = c[static_cast<std::size_t>(j)];
+    // Forbid re-entry of artificial variables.
+    for (int j = first_artificial_; j < n_; ++j)
+      obj_[static_cast<std::size_t>(j)] =
+          -std::numeric_limits<double>::infinity();
+    make_reduced_costs_consistent();
+    return optimize() ? LpStatus::kOptimal : LpStatus::kUnbounded;
+  }
+
+  [[nodiscard]] std::vector<double> solution() const {
+    std::vector<double> x(static_cast<std::size_t>(n_orig_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[static_cast<std::size_t>(i)];
+      if (b >= 0 && b < n_orig_)
+        x[static_cast<std::size_t>(b)] =
+            rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(n_)];
+    }
+    return x;
+  }
+
+  [[nodiscard]] double objective_value() const {
+    return obj_[static_cast<std::size_t>(n_)];
+  }
+
+ private:
+  static Relation flip(Relation r) {
+    if (r == Relation::kLe) return Relation::kGe;
+    if (r == Relation::kGe) return Relation::kLe;
+    return Relation::kEq;
+  }
+
+  /// Express the objective row in terms of non-basic variables by
+  /// eliminating the basic columns.
+  void make_reduced_costs_consistent() {
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[static_cast<std::size_t>(i)];
+      const double coef = obj_[static_cast<std::size_t>(b)];
+      if (std::abs(coef) < kEps || std::isinf(coef)) {
+        if (std::isinf(coef)) {
+          // An artificial still in the basis at value ~0: treat its
+          // objective coefficient as 0 for elimination purposes.
+          obj_[static_cast<std::size_t>(b)] = 0.0;
+        }
+        continue;
+      }
+      const auto& row = rows_[static_cast<std::size_t>(i)];
+      for (int j = 0; j <= n_; ++j)
+        obj_[static_cast<std::size_t>(j)] -= coef * row[static_cast<std::size_t>(j)];
+    }
+  }
+
+  void pivot(int row, int col) {
+    auto& prow = rows_[static_cast<std::size_t>(row)];
+    const double pv = prow[static_cast<std::size_t>(col)];
+    for (double& v : prow) v /= pv;
+    for (int i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      auto& r = rows_[static_cast<std::size_t>(i)];
+      const double f = r[static_cast<std::size_t>(col)];
+      if (std::abs(f) < kEps) continue;
+      for (int j = 0; j <= n_; ++j)
+        r[static_cast<std::size_t>(j)] -= f * prow[static_cast<std::size_t>(j)];
+    }
+    const double f = obj_[static_cast<std::size_t>(col)];
+    if (std::abs(f) > kEps && !std::isinf(f)) {
+      for (int j = 0; j <= n_; ++j)
+        obj_[static_cast<std::size_t>(j)] -= f * prow[static_cast<std::size_t>(j)];
+    }
+    basis_[static_cast<std::size_t>(row)] = col;
+  }
+
+  /// Returns false on unboundedness.
+  [[nodiscard]] bool optimize() {
+    const int max_iters = 200 * (m_ + n_ + 10);
+    int iters = 0;
+    bool bland = false;
+    while (true) {
+      if (++iters > max_iters) {
+        bland = true;  // enforce termination
+      }
+      // Entering column: positive reduced cost (maximization).
+      int col = -1;
+      double best = kEps;
+      for (int j = 0; j < n_; ++j) {
+        const double rc = obj_[static_cast<std::size_t>(j)];
+        if (std::isinf(rc)) continue;
+        if (bland) {
+          if (rc > kEps) {
+            col = j;
+            break;
+          }
+        } else if (rc > best) {
+          best = rc;
+          col = j;
+        }
+      }
+      if (col < 0) return true;  // optimal
+
+      // Ratio test.
+      int row = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        const double a =
+            rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(col)];
+        if (a > kEps) {
+          const double ratio =
+              rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(n_)] / a;
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps && row >= 0 &&
+               basis_[static_cast<std::size_t>(i)] <
+                   basis_[static_cast<std::size_t>(row)])) {
+            best_ratio = ratio;
+            row = i;
+          }
+        }
+      }
+      if (row < 0) return false;  // unbounded
+      pivot(row, col);
+    }
+  }
+
+  /// After phase 1, pivot any artificial variables out of the basis (or
+  /// detect redundant rows and leave the zero-valued artificial basic).
+  void drive_out_artificials() {
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[static_cast<std::size_t>(i)] < first_artificial_) continue;
+      // Find any non-artificial column with a nonzero entry to pivot in.
+      int col = -1;
+      for (int j = 0; j < first_artificial_; ++j) {
+        if (std::abs(rows_[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)]) > 1e-7) {
+          col = j;
+          break;
+        }
+      }
+      if (col >= 0) pivot(i, col);
+      // Otherwise the row is redundant; the artificial stays basic at 0.
+    }
+  }
+
+  int m_ = 0;
+  int n_orig_ = 0;
+  int n_ = 0;
+  int first_artificial_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> obj_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem) {
+  LpSolution sol;
+  if (problem.num_vars <= 0) {
+    sol.status = LpStatus::kOptimal;
+    sol.objective = 0.0;
+    return sol;
+  }
+  Tableau t(problem);
+  if (!t.phase1()) {
+    sol.status = LpStatus::kInfeasible;
+    return sol;
+  }
+  const LpStatus st = t.phase2(problem.objective);
+  sol.status = st;
+  if (st == LpStatus::kOptimal) {
+    sol.x = t.solution();
+    sol.objective = 0.0;
+    for (int j = 0;
+         j < problem.num_vars && j < static_cast<int>(problem.objective.size());
+         ++j) {
+      sol.objective += problem.objective[static_cast<std::size_t>(j)] *
+                       sol.x[static_cast<std::size_t>(j)];
+    }
+  }
+  return sol;
+}
+
+}  // namespace meshopt

@@ -1,0 +1,46 @@
+#pragma once
+// Dense two-phase simplex LP solver.
+//
+// Scope: the optimizer's problems are small (tens of links, a few flows,
+// up to a few hundred extreme points), so a dense tableau with Dantzig
+// pricing and a Bland anti-cycling fallback is simple and dependable.
+//
+// Problem form: maximize c.x subject to a set of <=, =, >= constraints and
+// x >= 0.
+
+#include <cstdint>
+#include <vector>
+
+namespace meshopt {
+
+enum class LpStatus : std::uint8_t { kOptimal, kInfeasible, kUnbounded };
+
+enum class Relation : std::uint8_t { kLe, kEq, kGe };
+
+struct LpConstraint {
+  std::vector<double> coeffs;  ///< length = num_vars
+  Relation rel = Relation::kLe;
+  double rhs = 0.0;
+};
+
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;  ///< maximize objective . x
+  std::vector<LpConstraint> constraints;
+
+  LpConstraint& add_constraint(std::vector<double> coeffs, Relation rel,
+                               double rhs) {
+    constraints.push_back({std::move(coeffs), rel, rhs});
+    return constraints.back();
+  }
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem);
+
+}  // namespace meshopt

@@ -1,0 +1,37 @@
+#pragma once
+// The alpha-fair utility family used by the paper's optimizer:
+//
+//   U(y) = y^(1-alpha) / (1-alpha)   (alpha != 1)
+//   U(y) = log(y)                    (alpha == 1)
+//
+// alpha = 0 maximizes aggregate throughput, alpha = 1 is proportional
+// fairness, alpha -> infinity approaches max-min fairness.
+
+#include <cmath>
+
+namespace meshopt {
+
+class AlphaFairUtility {
+ public:
+  explicit AlphaFairUtility(double alpha, double floor = 1e-9)
+      : alpha_(alpha), floor_(floor) {}
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  [[nodiscard]] double value(double y) const {
+    y = y > floor_ ? y : floor_;
+    if (alpha_ == 1.0) return std::log(y);
+    return std::pow(y, 1.0 - alpha_) / (1.0 - alpha_);
+  }
+
+  [[nodiscard]] double gradient(double y) const {
+    y = y > floor_ ? y : floor_;
+    return std::pow(y, -alpha_);
+  }
+
+ private:
+  double alpha_;
+  double floor_;
+};
+
+}  // namespace meshopt

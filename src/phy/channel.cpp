@@ -1,0 +1,209 @@
+#include "phy/channel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace meshopt {
+
+namespace {
+constexpr double kUnreachableDbm = -200.0;
+}  // namespace
+
+Channel::Channel(Simulator& sim, PhyParams phy, RngStream rng)
+    : sim_(sim),
+      phy_(phy),
+      rng_(rng),
+      error_(std::make_shared<PerfectChannelModel>()) {
+  noise_mw_ = dbm_to_mw(phy_.noise_floor_dbm);
+  cs_mw_ = dbm_to_mw(phy_.cs_threshold_dbm);
+  // Signals 20 dB below the noise floor are ignored entirely.
+  hear_floor_mw_ = dbm_to_mw(phy_.noise_floor_dbm - 20.0);
+}
+
+NodeId Channel::add_node(PhySap* sap) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(PhyState{});
+  nodes_.back().sap = sap;
+  for (auto& row : rss_dbm_) row.push_back(kUnreachableDbm);
+  rss_dbm_.emplace_back(nodes_.size(), kUnreachableDbm);
+  return id;
+}
+
+void Channel::set_rss_dbm(NodeId a, NodeId b, double dbm) {
+  rss_dbm_.at(static_cast<std::size_t>(a)).at(static_cast<std::size_t>(b)) =
+      dbm;
+}
+
+void Channel::set_rss_symmetric_dbm(NodeId a, NodeId b, double dbm) {
+  set_rss_dbm(a, b, dbm);
+  set_rss_dbm(b, a, dbm);
+}
+
+double Channel::rss_dbm(NodeId a, NodeId b) const {
+  if (a == b) return kUnreachableDbm;
+  return rss_dbm_.at(static_cast<std::size_t>(a))
+      .at(static_cast<std::size_t>(b));
+}
+
+double Channel::rss_mw(NodeId a, NodeId b) const {
+  const double dbm = rss_dbm(a, b);
+  return dbm <= kUnreachableDbm ? 0.0 : dbm_to_mw(dbm);
+}
+
+void Channel::set_error_model(std::shared_ptr<const ErrorModel> model) {
+  assert(model);
+  error_ = std::move(model);
+}
+
+bool Channel::decodable(NodeId a, NodeId b, Rate rate) const {
+  return rss_dbm(a, b) >= phy_.sensitivity_dbm(rate);
+}
+
+bool Channel::senses(NodeId a, NodeId b) const {
+  // Preamble detect works down to the most sensitive rate; energy detect at
+  // the CS threshold. Sensing range is the union.
+  return rss_dbm(a, b) >= std::min(phy_.cs_threshold_dbm,
+                                   phy_.sensitivity_dbm(Rate::kR1Mbps));
+}
+
+double Channel::sinr_db(double signal_mw, double interference_mw) const {
+  return mw_to_dbm(signal_mw) - mw_to_dbm(noise_mw_ + interference_mw);
+}
+
+bool Channel::carrier_busy(NodeId n) const {
+  const PhyState& st = nodes_.at(static_cast<std::size_t>(n));
+  return st.transmitting || st.lock.has_value() || st.energy_mw() >= cs_mw_;
+}
+
+void Channel::update_busy(NodeId n) {
+  PhyState& st = nodes_[static_cast<std::size_t>(n)];
+  const bool busy = carrier_busy(n);
+  if (busy != st.busy_reported) {
+    st.busy_reported = busy;
+    if (st.sap != nullptr) st.sap->phy_busy_changed(busy);
+  }
+}
+
+void Channel::start_tx(NodeId tx, const Frame& frame_in, TimeNs duration) {
+  PhyState& txs = nodes_.at(static_cast<std::size_t>(tx));
+  assert(!txs.transmitting && "node already transmitting");
+
+  Frame frame = frame_in;
+  frame.id = next_frame_id_++;
+  frame.tx = tx;
+
+  // A transmitting node aborts any in-progress reception (half duplex).
+  txs.lock.reset();
+  txs.transmitting = true;
+  update_busy(tx);
+
+  for (NodeId n = 0; n < node_count(); ++n) {
+    if (n == tx) continue;
+    double rss = rss_mw(tx, n);
+    if (rss < hear_floor_mw_) continue;
+    if (phy_.fading_sigma_db > 0.0) {
+      // One lognormal fast-fading draw per frame/receiver pair.
+      rss *= dbm_to_mw(rng_.normal(0.0, phy_.fading_sigma_db));
+    }
+    handle_frame_start_at(n, frame, rss);
+  }
+
+  sim_.schedule(duration, [this, tx, frame] { end_tx(tx, frame); });
+}
+
+void Channel::handle_frame_start_at(NodeId n, const Frame& f, double rss) {
+  PhyState& st = nodes_[static_cast<std::size_t>(n)];
+  const double interference_before = st.energy_mw();
+  st.heard.emplace(f.id, rss);
+
+  if (!st.transmitting) {
+    if (!st.lock.has_value()) {
+      // Try to acquire the preamble: strong enough and clean enough.
+      const bool strong = mw_to_dbm(rss) >= phy_.sensitivity_dbm(f.rate);
+      const bool clean =
+          sinr_db(rss, interference_before) >= phy_.sinr_min_db(f.rate);
+      if (strong && clean) {
+        RxLock lock;
+        lock.frame_id = f.id;
+        lock.frame = f;
+        lock.rss_mw = rss;
+        lock.max_interference_mw = interference_before;
+        st.lock = lock;
+      }
+    } else {
+      RxLock& lock = *st.lock;
+      const double capture_lin = dbm_to_mw(phy_.capture_margin_db) /
+                                 1.0;  // margin as linear ratio
+      if (rss >= lock.rss_mw * capture_lin &&
+          mw_to_dbm(rss) >= phy_.sensitivity_dbm(f.rate)) {
+        // Message-in-message capture: the new frame steals the receiver.
+        // The interference seen by the new frame includes the old one.
+        const double interf_new = st.energy_mw() - rss;
+        ++corrupted_;
+        if (st.sap != nullptr) st.sap->phy_rx_corrupted();
+        if (sinr_db(rss, interf_new) >= phy_.sinr_min_db(f.rate)) {
+          RxLock fresh;
+          fresh.frame_id = f.id;
+          fresh.frame = f;
+          fresh.rss_mw = rss;
+          fresh.max_interference_mw = interf_new;
+          st.lock = fresh;
+        } else {
+          st.lock.reset();
+        }
+      } else {
+        // Plain interference against the locked frame.
+        const double interf = st.energy_mw() - lock.rss_mw;
+        lock.max_interference_mw = std::max(lock.max_interference_mw, interf);
+        if (sinr_db(lock.rss_mw, interf) <
+            phy_.sinr_min_db(lock.frame.rate)) {
+          lock.corrupted = true;
+        }
+      }
+    }
+  }
+  update_busy(n);
+}
+
+void Channel::end_tx(NodeId tx, Frame frame) {
+  for (NodeId n = 0; n < node_count(); ++n) {
+    if (n == tx) continue;
+    PhyState& st = nodes_[static_cast<std::size_t>(n)];
+    const auto it = st.heard.find(frame.id);
+    if (it == st.heard.end()) continue;
+    st.heard.erase(it);
+    if (!st.transmitting && st.lock.has_value() &&
+        st.lock->frame_id == frame.id) {
+      finalize_lock(n, frame);
+    }
+    update_busy(n);
+  }
+  PhyState& txs = nodes_[static_cast<std::size_t>(tx)];
+  txs.transmitting = false;
+  update_busy(tx);
+}
+
+void Channel::finalize_lock(NodeId n, const Frame& f) {
+  PhyState& st = nodes_[static_cast<std::size_t>(n)];
+  const RxLock lock = *st.lock;
+  st.lock.reset();
+
+  bool ok = !lock.corrupted;
+  if (ok) {
+    // Independent channel-error loss on an otherwise clean frame.
+    const double p = error_->per(f.tx, n, f.rate, f.type);
+    if (rng_.bernoulli(p)) ok = false;
+  }
+
+  if (ok) {
+    if ((f.dst == n || f.dst == kBroadcast) && st.sap != nullptr) {
+      st.sap->phy_rx_done(f);
+    }
+    // Correctly decoded frames addressed elsewhere are simply overheard.
+  } else {
+    ++corrupted_;
+    if (st.sap != nullptr) st.sap->phy_rx_corrupted();
+  }
+}
+
+}  // namespace meshopt

@@ -1,0 +1,123 @@
+#pragma once
+// The wireless medium.
+//
+// The channel holds a directed RSS matrix between nodes (filled from
+// geometry by the scenario module, or set explicitly for the CS/IA/NF
+// topology classes) and emulates:
+//   * energy-detect + preamble-detect carrier sensing,
+//   * SINR-based frame corruption under overlapping transmissions,
+//   * message-in-message capture (a sufficiently stronger late frame steals
+//     the receiver lock — the effect behind the paper's Fig. 5),
+//   * independent per-link channel losses via an ErrorModel.
+//
+// MACs interact with it through start_tx() and receive PhySap callbacks.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "phy/error_model.h"
+#include "phy/frame.h"
+#include "phy/radio.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace meshopt {
+
+/// Callbacks the channel raises toward a node's MAC.
+class PhySap {
+ public:
+  virtual ~PhySap() = default;
+  /// Carrier-sense state change (busy covers: own TX, locked RX, energy).
+  virtual void phy_busy_changed(bool busy) = 0;
+  /// A frame addressed to this node (or broadcast) was decoded.
+  virtual void phy_rx_done(const Frame& frame) = 0;
+  /// A decodable frame was corrupted (collision or channel error) — the
+  /// MAC responds with EIFS deferral.
+  virtual void phy_rx_corrupted() = 0;
+};
+
+class Channel {
+ public:
+  Channel(Simulator& sim, PhyParams phy, RngStream rng);
+
+  /// Register a node; returns its id. `sap` may be null for passive nodes.
+  NodeId add_node(PhySap* sap);
+
+  [[nodiscard]] int node_count() const {
+    return static_cast<int>(nodes_.size());
+  }
+
+  /// Directed RSS (dBm) of a's signal at b. Defaults to "unreachable".
+  void set_rss_dbm(NodeId a, NodeId b, double dbm);
+  void set_rss_symmetric_dbm(NodeId a, NodeId b, double dbm);
+  [[nodiscard]] double rss_dbm(NodeId a, NodeId b) const;
+
+  void set_error_model(std::shared_ptr<const ErrorModel> model);
+  [[nodiscard]] const ErrorModel& error_model() const { return *error_; }
+
+  [[nodiscard]] const PhyParams& phy() const { return phy_; }
+
+  /// Would b be able to decode a's frames at `rate` on a clean channel?
+  [[nodiscard]] bool decodable(NodeId a, NodeId b, Rate rate) const;
+
+  /// Does b sense a's transmissions (either by energy or by preamble)?
+  [[nodiscard]] bool senses(NodeId a, NodeId b) const;
+
+  /// Begin a transmission. The channel schedules its own end-of-frame
+  /// processing after `duration`; the caller keeps its own end timer.
+  void start_tx(NodeId tx, const Frame& frame, TimeNs duration);
+
+  [[nodiscard]] bool carrier_busy(NodeId n) const;
+
+  /// Total frames that ended with a corrupted lock (collision-style loss),
+  /// for diagnostics.
+  [[nodiscard]] std::uint64_t corrupted_count() const { return corrupted_; }
+
+ private:
+  struct RxLock {
+    std::uint64_t frame_id = 0;
+    Frame frame;
+    double rss_mw = 0.0;
+    double max_interference_mw = 0.0;
+    bool corrupted = false;
+  };
+
+  struct PhyState {
+    PhySap* sap = nullptr;
+    bool transmitting = false;
+    bool busy_reported = false;
+    std::optional<RxLock> lock;
+    /// frame id -> rss (mW) of every in-flight foreign frame heard.
+    std::unordered_map<std::uint64_t, double> heard;
+
+    [[nodiscard]] double energy_mw() const {
+      double e = 0.0;
+      for (const auto& [_, rss] : heard) e += rss;
+      return e;
+    }
+  };
+
+  void end_tx(NodeId tx, Frame frame);
+  void update_busy(NodeId n);
+  void handle_frame_start_at(NodeId n, const Frame& f, double rss_mw);
+  void finalize_lock(NodeId n, const Frame& f);
+  [[nodiscard]] double sinr_db(double signal_mw, double interference_mw) const;
+  [[nodiscard]] double rss_mw(NodeId a, NodeId b) const;
+
+  Simulator& sim_;
+  PhyParams phy_;
+  RngStream rng_;
+  std::shared_ptr<const ErrorModel> error_;
+  std::vector<PhyState> nodes_;
+  std::vector<std::vector<double>> rss_dbm_;  // [tx][rx]
+  std::uint64_t next_frame_id_ = 1;
+  std::uint64_t corrupted_ = 0;
+  double noise_mw_ = 0.0;
+  double cs_mw_ = 0.0;
+  double hear_floor_mw_ = 0.0;
+};
+
+}  // namespace meshopt

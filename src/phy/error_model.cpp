@@ -1,0 +1,31 @@
+#include "phy/error_model.h"
+
+#include <cmath>
+
+#include "phy/channel.h"
+
+namespace meshopt {
+
+SnrErrorModel::SnrErrorModel(const Channel& channel, PhyParams phy)
+    : channel_(channel), phy_(phy) {}
+
+double SnrErrorModel::per_from_snr(double snr_db, Rate rate) {
+  // Logistic PER curve. Midpoints sit a little above the decode threshold:
+  // links right at sensitivity lose roughly half their frames, links with
+  // ~8 dB of headroom are effectively clean — the mix of link margins in
+  // the synthetic testbed then produces the spread of channel-loss rates
+  // the paper observes.
+  const double mid = rate == Rate::kR1Mbps ? 7.0 : 13.0;
+  const double width = 1.6;
+  const double z = (snr_db - mid) / width;
+  return 1.0 / (1.0 + std::exp(z));
+}
+
+double SnrErrorModel::per(NodeId src, NodeId dst, Rate rate,
+                          FrameType type) const {
+  const Rate r = type == FrameType::kAck ? Rate::kR1Mbps : rate;
+  const double snr = channel_.rss_dbm(src, dst) - phy_.noise_floor_dbm;
+  return per_from_snr(snr, r);
+}
+
+}  // namespace meshopt

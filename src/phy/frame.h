@@ -1,0 +1,26 @@
+#pragma once
+// Over-the-air frame representation shared by the channel and the MAC.
+
+#include <cstdint>
+
+#include "phy/radio.h"
+
+namespace meshopt {
+
+enum class FrameType : std::uint8_t { kData, kAck };
+
+/// A frame in flight. `air_bytes` is the full over-the-air size (MAC header
+/// included); `net_bytes` is the network-layer payload carried (0 for ACK).
+struct Frame {
+  std::uint64_t id = 0;      ///< unique per transmission attempt
+  NodeId tx = -1;            ///< transmitting node
+  NodeId dst = kBroadcast;   ///< link-level destination (kBroadcast allowed)
+  FrameType type = FrameType::kData;
+  Rate rate = Rate::kR1Mbps;
+  int air_bytes = 0;
+  int net_bytes = 0;
+  std::uint64_t mac_seq = 0;     ///< sender MAC sequence (dedup + ACK match)
+  std::uint64_t net_id = 0;      ///< upper-layer packet handle
+};
+
+}  // namespace meshopt

@@ -1,0 +1,107 @@
+#pragma once
+// 802.11 radio parameterization.
+//
+// The paper runs 802.11g cards at fixed 1 Mb/s and 11 Mb/s modulation rates
+// (DSSS/CCK, long preamble) with RTS/CTS disabled and rate adaptation off.
+// We model exactly that configuration: DSSS timing (20 us slots), long PLCP
+// preamble, CWmin 32, ACKs at the 1 Mb/s base rate.
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+
+namespace meshopt {
+
+using NodeId = int;
+constexpr NodeId kBroadcast = -1;
+
+/// Modulation data rates used in the paper's evaluation.
+enum class Rate : std::uint8_t {
+  kR1Mbps,
+  kR11Mbps,
+};
+
+[[nodiscard]] constexpr double rate_bps(Rate r) {
+  switch (r) {
+    case Rate::kR1Mbps:
+      return 1e6;
+    case Rate::kR11Mbps:
+      return 11e6;
+  }
+  return 1e6;
+}
+
+[[nodiscard]] constexpr const char* rate_name(Rate r) {
+  return r == Rate::kR1Mbps ? "1Mbps" : "11Mbps";
+}
+
+/// 802.11 (DSSS / long preamble) MAC+PHY timing and size constants.
+struct MacTimings {
+  TimeNs slot = micros(20);
+  TimeNs sifs = micros(10);
+  TimeNs difs = micros(50);         ///< SIFS + 2 slots
+  TimeNs plcp = micros(192);        ///< long preamble + PLCP header @1Mb/s
+  int cw_min = 32;                  ///< W0
+  int max_backoff_stage = 5;        ///< m: CW maxes out at W0 * 2^m = 1024
+  int retry_limit = 7;              ///< attempts before the frame is dropped
+  int mac_header_bytes = 28;        ///< MAC header (24) + FCS (4)
+  int llc_bytes = 8;                ///< LLC/SNAP encapsulation
+  int ack_bytes = 14;               ///< ACK control frame
+  Rate ack_rate = Rate::kR1Mbps;    ///< ACKs at base rate (as paper probes)
+
+  [[nodiscard]] int cw_at_stage(int stage) const {
+    int cw = cw_min;
+    for (int i = 0; i < stage && i < max_backoff_stage; ++i) cw *= 2;
+    return cw;
+  }
+  [[nodiscard]] int cw_max() const { return cw_at_stage(max_backoff_stage); }
+  [[nodiscard]] TimeNs eifs() const;  ///< SIFS + ACK airtime + DIFS
+};
+
+/// Receiver-side PHY thresholds.
+struct PhyParams {
+  double noise_floor_dbm = -95.0;
+  double cs_threshold_dbm = -82.0;   ///< energy-detect carrier sense
+  double capture_margin_db = 10.0;   ///< message-in-message relock margin
+  /// Per-frame lognormal fast-fading deviation (dB). Each frame/receiver
+  /// pair gets one RSS draw; this is what makes capture *graded* instead
+  /// of binary, as real testbeds observe (paper Section 4.2).
+  double fading_sigma_db = 2.5;
+  /// Minimum SINR (dB) to decode at each rate.
+  double sinr_min_db_r1 = 4.0;
+  double sinr_min_db_r11 = 10.0;
+  /// Minimum RSS (dBm) to attempt decoding at each rate.
+  double sensitivity_dbm_r1 = -94.0;
+  double sensitivity_dbm_r11 = -88.0;
+
+  [[nodiscard]] double sinr_min_db(Rate r) const {
+    return r == Rate::kR1Mbps ? sinr_min_db_r1 : sinr_min_db_r11;
+  }
+  [[nodiscard]] double sensitivity_dbm(Rate r) const {
+    return r == Rate::kR1Mbps ? sensitivity_dbm_r1 : sensitivity_dbm_r11;
+  }
+};
+
+[[nodiscard]] inline double dbm_to_mw(double dbm) {
+  // 10^(dbm/10)
+  return __builtin_exp2(dbm * 0.33219280948873623);  // log2(10)/10
+}
+
+[[nodiscard]] inline double mw_to_dbm(double mw);
+
+/// Network-layer packet overheads used by capacity formulas.
+struct NetOverheads {
+  int ip_bytes = 20;
+  int udp_bytes = 8;
+  int tcp_bytes = 20;
+};
+
+}  // namespace meshopt
+
+#include <cmath>
+
+namespace meshopt {
+inline double mw_to_dbm(double mw) {
+  return 10.0 * std::log10(mw > 1e-300 ? mw : 1e-300);
+}
+}  // namespace meshopt

@@ -1,0 +1,68 @@
+#include "probe/adhoc_probe.h"
+
+#include <algorithm>
+
+namespace meshopt {
+
+AdHocProbe::AdHocProbe(Network& net, NodeId src, NodeId dst,
+                       int payload_bytes)
+    : net_(net), src_(src), dst_(dst), payload_bytes_(payload_bytes) {
+  handler_id_ = net_.node(dst_).add_handler(
+      Protocol::kPairProbe,
+      [this](const Packet& p, NodeId) { on_delivery(p); });
+}
+
+AdHocProbe::~AdHocProbe() {
+  net_.node(dst_).remove_handler(Protocol::kPairProbe, handler_id_);
+}
+
+void AdHocProbe::start(int pairs, double gap_s) {
+  remaining_ = pairs;
+  gap_s_ = gap_s;
+  send_pair();
+}
+
+void AdHocProbe::send_pair() {
+  if (remaining_ <= 0) return;
+  --remaining_;
+  const std::uint32_t pair = next_pair_++;
+  for (std::uint8_t idx = 0; idx < 2; ++idx) {
+    Packet p;
+    p.src = src_;
+    p.dst = dst_;
+    p.proto = Protocol::kPairProbe;
+    p.bytes = payload_bytes_ + 28;
+    p.created = net_.sim().now();
+    p.pair_id = pair;
+    p.pair_index = idx;
+    net_.node(src_).send(p);
+  }
+  if (remaining_ > 0) {
+    net_.sim().schedule(seconds(gap_s_), [this] { send_pair(); });
+  }
+}
+
+void AdHocProbe::on_delivery(const Packet& p) {
+  if (p.pair_index == 0) {
+    first_arrival_[p.pair_id] = net_.sim().now();
+    return;
+  }
+  const auto it = first_arrival_.find(p.pair_id);
+  if (it == first_arrival_.end()) return;  // first of pair was lost
+  const double disp = to_seconds(net_.sim().now() - it->second);
+  first_arrival_.erase(it);
+  if (disp > 0.0) dispersions_.push_back(disp);
+}
+
+int AdHocProbe::pairs_completed() const {
+  return static_cast<int>(dispersions_.size());
+}
+
+double AdHocProbe::capacity_estimate_bps() const {
+  if (dispersions_.empty()) return 0.0;
+  const double min_disp =
+      *std::min_element(dispersions_.begin(), dispersions_.end());
+  return 8.0 * static_cast<double>(payload_bytes_) / min_disp;
+}
+
+}  // namespace meshopt

@@ -1,0 +1,57 @@
+#pragma once
+// AdHoc Probe (Chen et al. [10]) — the packet-pair path-capacity estimator
+// the paper compares against in Section 5.4 (Fig. 11).
+//
+// The sender emits back-to-back unicast packet pairs; the receiver records
+// the dispersion (arrival spacing) of each pair and estimates capacity as
+// packet_size / min_dispersion. As the paper shows, this tracks the
+// *nominal* rate (minimum dispersion filters out contention) but is blind
+// to channel losses, so it cannot estimate maxUDP throughput.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace meshopt {
+
+class AdHocProbe {
+ public:
+  /// Probe pairs flow src -> dst (single hop or multi-hop via routes).
+  AdHocProbe(Network& net, NodeId src, NodeId dst, int payload_bytes = 1470);
+  ~AdHocProbe();
+  AdHocProbe(const AdHocProbe&) = delete;
+  AdHocProbe& operator=(const AdHocProbe&) = delete;
+
+  /// Send `pairs` packet pairs, `gap_s` apart.
+  void start(int pairs, double gap_s);
+
+  [[nodiscard]] int pairs_completed() const;
+
+  /// Capacity estimate (payload bits/s): payload / min dispersion.
+  /// Returns 0 if no pair completed.
+  [[nodiscard]] double capacity_estimate_bps() const;
+
+  [[nodiscard]] const std::vector<double>& dispersions_s() const {
+    return dispersions_;
+  }
+
+ private:
+  void send_pair();
+  void on_delivery(const Packet& p);
+
+  Network& net_;
+  NodeId src_;
+  NodeId dst_;
+  std::uint64_t handler_id_ = 0;
+  int payload_bytes_;
+  int remaining_ = 0;
+  std::uint32_t next_pair_ = 0;
+  std::map<std::uint32_t, TimeNs> first_arrival_;
+  std::vector<double> dispersions_;
+  double gap_s_ = 0.1;
+};
+
+}  // namespace meshopt

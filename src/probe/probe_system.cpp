@@ -1,0 +1,166 @@
+#include "probe/probe_system.h"
+
+#include <algorithm>
+
+namespace meshopt {
+
+// ---------------------------------------------------------------- recorder
+
+void LossRecorder::begin_window(std::uint64_t base_seq) {
+  reset();
+  base_seq_ = base_seq;
+}
+
+void LossRecorder::on_probe(std::uint64_t seq) {
+  if (seq < base_seq_) return;  // pre-window stragglers
+  if (!any_) {
+    any_ = true;
+    first_seq_ = seq;
+    last_seq_ = seq;
+    pattern_.push_back(0);
+    ++received_;
+    return;
+  }
+  if (seq <= last_seq_) return;  // reordering cannot happen; ignore dups
+  for (std::uint64_t s = last_seq_ + 1; s < seq; ++s) pattern_.push_back(1);
+  pattern_.push_back(0);
+  ++received_;
+  last_seq_ = seq;
+}
+
+std::vector<std::uint8_t> LossRecorder::pattern(
+    std::uint64_t expected_total) const {
+  std::vector<std::uint8_t> out = pattern_;
+  if (expected_total > 0) {
+    // Probes lost before the first arrival and after the last one.
+    const std::uint64_t lead = any_ ? first_seq_ - base_seq_ : expected_total;
+    std::vector<std::uint8_t> full(static_cast<std::size_t>(lead), 1);
+    full.insert(full.end(), out.begin(), out.end());
+    while (full.size() < expected_total) full.push_back(1);
+    if (full.size() > expected_total)
+      full.resize(static_cast<std::size_t>(expected_total));
+    return full;
+  }
+  return out;
+}
+
+double LossRecorder::loss_rate(std::uint64_t expected_total) const {
+  const auto pat = pattern(expected_total);
+  if (pat.empty()) return 0.0;
+  std::uint64_t lost = 0;
+  for (auto b : pat) lost += b;
+  return static_cast<double>(lost) / static_cast<double>(pat.size());
+}
+
+void LossRecorder::reset() {
+  pattern_.clear();
+  any_ = false;
+  received_ = 0;
+  base_seq_ = 0;
+  first_seq_ = last_seq_ = 0;
+}
+
+// ------------------------------------------------------------------ agent
+
+ProbeAgent::ProbeAgent(Network& net, NodeId node, RngStream rng)
+    : net_(net), node_(node), rng_(rng) {}
+
+void ProbeAgent::configure(double period_s, std::vector<Rate> data_rates,
+                           int data_probe_payload) {
+  period_s_ = period_s;
+  data_rates_ = std::move(data_rates);
+  data_probe_bytes_ = data_probe_payload + 28;  // IP+UDP headers
+}
+
+void ProbeAgent::start() {
+  if (running_) return;
+  running_ = true;
+  // Random phase so that probing nodes do not synchronize.
+  tick_ev_ = net_.sim().schedule(seconds(rng_.uniform() * period_s_),
+                                 [this] { tick(); });
+}
+
+void ProbeAgent::stop() {
+  if (!running_) return;
+  running_ = false;
+  net_.sim().cancel(tick_ev_);
+  tick_ev_ = kNoEvent;
+}
+
+std::uint64_t ProbeAgent::sent(Rate rate, ProbeKind kind) const {
+  const auto it = seq_.find({static_cast<std::uint8_t>(rate),
+                             static_cast<std::uint8_t>(kind)});
+  return it != seq_.end() ? it->second : 0;
+}
+
+void ProbeAgent::tick() {
+  tick_ev_ = kNoEvent;
+  if (!running_) return;
+
+  auto send_probe = [&](Rate rate, ProbeKind kind, int bytes) {
+    auto& seq = seq_[{static_cast<std::uint8_t>(rate),
+                      static_cast<std::uint8_t>(kind)}];
+    Packet p;
+    p.src = node_;
+    p.dst = kBroadcast;
+    p.proto = Protocol::kProbe;
+    p.bytes = bytes;
+    p.seq = seq++;
+    p.created = net_.sim().now();
+    p.probe_rate = rate;
+    p.probe_kind = kind;
+    net_.node(node_).send_broadcast(p, rate);
+  };
+
+  for (Rate r : data_rates_) {
+    send_probe(r, ProbeKind::kDataProbe, data_probe_bytes_);
+  }
+  // ACK-sized probe at base rate (pACK measurement).
+  send_probe(Rate::kR1Mbps, ProbeKind::kAckProbe, 14);
+
+  // +/-10% per-tick jitter: simulated clocks are perfect, so without it
+  // two hidden probing nodes can phase-lock and collide on every probe.
+  const double jitter = 0.9 + 0.2 * rng_.uniform();
+  tick_ev_ =
+      net_.sim().schedule(seconds(period_s_ * jitter), [this] { tick(); });
+}
+
+// ---------------------------------------------------------------- monitor
+
+ProbeMonitor::ProbeMonitor(Network& net, NodeId node)
+    : net_(net), node_(node) {
+  handler_id_ = net_.node(node_).add_handler(
+      Protocol::kProbe,
+      [this](const Packet& p, NodeId) { on_packet(p); });
+}
+
+ProbeMonitor::~ProbeMonitor() {
+  net_.node(node_).remove_handler(Protocol::kProbe, handler_id_);
+}
+
+void ProbeMonitor::on_packet(const Packet& p) {
+  const ProbeStreamKey key{p.src, p.probe_rate, p.probe_kind};
+  recorders_[key].on_probe(p.seq);
+}
+
+const LossRecorder* ProbeMonitor::stream(const ProbeStreamKey& key) const {
+  const auto it = recorders_.find(key);
+  return it != recorders_.end() ? &it->second : nullptr;
+}
+
+LossRecorder* ProbeMonitor::stream_mut(const ProbeStreamKey& key) {
+  return &recorders_[key];
+}
+
+std::vector<ProbeStreamKey> ProbeMonitor::streams() const {
+  std::vector<ProbeStreamKey> keys;
+  keys.reserve(recorders_.size());
+  for (const auto& [k, _] : recorders_) keys.push_back(k);
+  return keys;
+}
+
+void ProbeMonitor::reset_all() {
+  for (auto& [_, rec] : recorders_) rec.reset();
+}
+
+}  // namespace meshopt

@@ -1,0 +1,115 @@
+#pragma once
+// Broadcast probing system (paper Section 5.2).
+//
+// Each node periodically broadcasts two kinds of probes:
+//   * DATA probes — sized like data packets, sent at each data rate the
+//     node uses toward its neighbors (measures pDATA),
+//   * ACK probes — ACK-sized, sent at the 1 Mb/s base rate (measures pACK).
+//
+// Broadcasts are not retransmitted by the MAC, so the loss pattern recorded
+// by a neighbor is the raw per-attempt loss process the 802.11 MAC
+// experiences — containing both channel losses and collision losses, which
+// the ChannelLossEstimator then separates.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace meshopt {
+
+/// Identifies one probe stream as seen by a receiver.
+struct ProbeStreamKey {
+  NodeId src = -1;
+  Rate rate = Rate::kR1Mbps;
+  ProbeKind kind = ProbeKind::kDataProbe;
+
+  auto operator<=>(const ProbeStreamKey&) const = default;
+};
+
+/// Records the received/lost pattern of a probe stream from sequence
+/// numbers (a gap of k sequence numbers = k losses).
+class LossRecorder {
+ public:
+  void on_probe(std::uint64_t seq);
+
+  /// Start a fresh measurement window: discard history and treat `base_seq`
+  /// (the sender's next sequence number) as position 0 of the pattern.
+  void begin_window(std::uint64_t base_seq);
+
+  /// Loss pattern so far: 1 = lost, 0 = received. If `expected_total` is
+  /// larger than the observed range, the tail is padded as lost (probes
+  /// that never arrived).
+  [[nodiscard]] std::vector<std::uint8_t> pattern(
+      std::uint64_t expected_total = 0) const;
+
+  [[nodiscard]] double loss_rate(std::uint64_t expected_total = 0) const;
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+  void reset();
+
+ private:
+  std::vector<std::uint8_t> pattern_;
+  bool any_ = false;
+  std::uint64_t base_seq_ = 0;
+  std::uint64_t first_seq_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+/// Per-node probe transmitter.
+class ProbeAgent {
+ public:
+  ProbeAgent(Network& net, NodeId node, RngStream rng);
+
+  /// Probe every `period_s`, broadcasting a DATA probe at each rate in
+  /// `data_rates` plus one ACK probe at 1 Mb/s.
+  void configure(double period_s, std::vector<Rate> data_rates,
+                 int data_probe_payload = 1470);
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Sequence counter of a stream (what the receiver should expect).
+  [[nodiscard]] std::uint64_t sent(Rate rate, ProbeKind kind) const;
+
+ private:
+  void tick();
+
+  Network& net_;
+  NodeId node_;
+  RngStream rng_;
+  double period_s_ = 0.5;
+  std::vector<Rate> data_rates_{Rate::kR1Mbps};
+  int data_probe_bytes_ = 1470 + 28;  ///< + IP/UDP headers
+  bool running_ = false;
+  EventId tick_ev_ = kNoEvent;
+  std::map<std::pair<std::uint8_t, std::uint8_t>, std::uint64_t> seq_;
+};
+
+/// Per-node probe receiver: aggregates LossRecorders per stream.
+class ProbeMonitor {
+ public:
+  explicit ProbeMonitor(Network& net, NodeId node);
+  ~ProbeMonitor();
+  ProbeMonitor(const ProbeMonitor&) = delete;
+  ProbeMonitor& operator=(const ProbeMonitor&) = delete;
+
+  [[nodiscard]] const LossRecorder* stream(const ProbeStreamKey& key) const;
+  [[nodiscard]] LossRecorder* stream_mut(const ProbeStreamKey& key);
+  [[nodiscard]] std::vector<ProbeStreamKey> streams() const;
+  void reset_all();
+
+ private:
+  void on_packet(const Packet& p);
+
+  Network& net_;
+  NodeId node_;
+  std::uint64_t handler_id_ = 0;
+  std::map<ProbeStreamKey, LossRecorder> recorders_;
+};
+
+}  // namespace meshopt

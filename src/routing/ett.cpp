@@ -1,0 +1,123 @@
+#include "routing/ett.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace meshopt {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double ett_seconds(const LinkState& l, int packet_bytes) {
+  const double ok = (1.0 - l.p_fwd) * (1.0 - l.p_rev);
+  if (ok <= 1e-6) return kInf;
+  const double etx = 1.0 / ok;
+  const double tx_time = 8.0 * static_cast<double>(packet_bytes) /
+                         rate_bps(l.rate);
+  return etx * tx_time;
+}
+
+void TopologyDb::update_link(const LinkState& l) {
+  const auto it = index_.find(key(l.src, l.dst));
+  if (it != index_.end()) {
+    links_[it->second] = l;
+  } else {
+    index_.emplace(key(l.src, l.dst), links_.size());
+    links_.push_back(l);
+  }
+}
+
+std::optional<LinkState> TopologyDb::link(NodeId src, NodeId dst) const {
+  const auto it = index_.find(key(src, dst));
+  if (it == index_.end()) return std::nullopt;
+  return links_[it->second];
+}
+
+std::vector<NodeId> TopologyDb::shortest_path(NodeId src, NodeId dst,
+                                              int packet_bytes) const {
+  // Collect vertices.
+  NodeId max_node = std::max(src, dst);
+  for (const auto& l : links_) max_node = std::max({max_node, l.src, l.dst});
+  const int n = max_node + 1;
+
+  std::vector<double> dist(static_cast<std::size_t>(n), kInf);
+  std::vector<NodeId> prev(static_cast<std::size_t>(n), -1);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  pq.emplace(0.0, src);
+
+  // Adjacency.
+  std::vector<std::vector<std::size_t>> out(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    out[static_cast<std::size_t>(links_[i].src)].push_back(i);
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == dst) break;
+    for (std::size_t li : out[static_cast<std::size_t>(u)]) {
+      const LinkState& l = links_[li];
+      const double w = ett_seconds(l, packet_bytes);
+      if (!std::isfinite(w)) continue;
+      const double nd = d + w;
+      if (nd < dist[static_cast<std::size_t>(l.dst)]) {
+        dist[static_cast<std::size_t>(l.dst)] = nd;
+        prev[static_cast<std::size_t>(l.dst)] = u;
+        pq.emplace(nd, l.dst);
+      }
+    }
+  }
+
+  if (!std::isfinite(dist[static_cast<std::size_t>(dst)])) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = dst; v != -1; v = prev[static_cast<std::size_t>(v)])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double TopologyDb::path_ett(const std::vector<NodeId>& path,
+                            int packet_bytes) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto l = link(path[i], path[i + 1]);
+    if (!l) return kInf;
+    acc += ett_seconds(*l, packet_bytes);
+  }
+  return acc;
+}
+
+std::vector<std::vector<double>> build_routing_matrix(
+    const std::vector<LinkState>& links,
+    const std::vector<std::vector<NodeId>>& flow_paths) {
+  const std::size_t l_count = links.size();
+  const std::size_t s_count = flow_paths.size();
+  std::vector<std::vector<double>> r(l_count,
+                                     std::vector<double>(s_count, 0.0));
+  for (std::size_t s = 0; s < s_count; ++s) {
+    const auto& path = flow_paths[s];
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      for (std::size_t l = 0; l < l_count; ++l) {
+        if (links[l].src == path[h] && links[l].dst == path[h + 1]) {
+          r[l][s] = 1.0;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+double path_loss(const TopologyDb& db, const std::vector<NodeId>& path) {
+  double ok = 1.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto l = db.link(path[i], path[i + 1]);
+    ok *= l ? (1.0 - l->p_fwd) : 0.0;
+  }
+  return 1.0 - ok;
+}
+
+}  // namespace meshopt

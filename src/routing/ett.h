@@ -1,0 +1,64 @@
+#pragma once
+// ETT routing (Draves et al. [13], used by the paper's Srcr setup): link
+// metric = ETX * S/B where ETX = 1/((1-p_fwd)(1-p_rev)), plus Dijkstra
+// over a link-state topology database. The paper initializes routes with
+// ETT and keeps them fixed per experiment; we expose the same workflow.
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "phy/radio.h"
+
+namespace meshopt {
+
+struct LinkState {
+  NodeId src = -1;
+  NodeId dst = -1;
+  Rate rate = Rate::kR1Mbps;
+  double p_fwd = 0.0;  ///< forward (DATA direction) loss rate
+  double p_rev = 0.0;  ///< reverse (ACK direction) loss rate
+};
+
+/// Expected transmission time for `packet_bytes` across the link (seconds).
+/// Dead links (loss ~1 in either direction) get +inf.
+[[nodiscard]] double ett_seconds(const LinkState& l, int packet_bytes = 1500);
+
+/// Link-state topology database (the Srcr-database stand-in).
+class TopologyDb {
+ public:
+  /// Insert or update a directed link's state.
+  void update_link(const LinkState& l);
+
+  [[nodiscard]] const std::vector<LinkState>& links() const { return links_; }
+  [[nodiscard]] std::optional<LinkState> link(NodeId src, NodeId dst) const;
+
+  /// Dijkstra shortest path by ETT. Empty if unreachable.
+  [[nodiscard]] std::vector<NodeId> shortest_path(NodeId src, NodeId dst,
+                                                  int packet_bytes = 1500) const;
+
+  /// Total ETT along a path (+inf if any hop is missing).
+  [[nodiscard]] double path_ett(const std::vector<NodeId>& path,
+                                int packet_bytes = 1500) const;
+
+ private:
+  std::vector<LinkState> links_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  [[nodiscard]] static std::uint64_t key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+};
+
+/// Binary routing matrix R[l][s] over an explicit link list: 1 when flow
+/// s's path traverses directed link l.
+[[nodiscard]] std::vector<std::vector<double>> build_routing_matrix(
+    const std::vector<LinkState>& links,
+    const std::vector<std::vector<NodeId>>& flow_paths);
+
+/// End-to-end loss 1 - prod(1 - p_l) along a path in the database
+/// (forward losses only, as the paper's x_s = y_s/(1-p_s) uses).
+[[nodiscard]] double path_loss(const TopologyDb& db,
+                               const std::vector<NodeId>& path);
+
+}  // namespace meshopt

@@ -1,0 +1,63 @@
+#include "scenario/topologies.h"
+
+#include <memory>
+
+namespace meshopt {
+
+namespace {
+// "Cannot hear at all": far below sensitivity and CS thresholds.
+constexpr double kSilentDbm = -120.0;
+}  // namespace
+
+std::pair<LinkRef, LinkRef> build_two_link(Workbench& wb,
+                                           const TwoLinkParams& p, Rate rate_a,
+                                           Rate rate_b) {
+  Channel& ch = wb.channel();
+  const double sig = p.signal_dbm;
+  const double interf = p.interference_dbm;
+
+  // Default everything to silent, then open the intended paths.
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = 0; b < 4; ++b)
+      if (a != b) ch.set_rss_dbm(a, b, kSilentDbm);
+
+  // Both links always decode their own signal strongly (bidirectional, so
+  // ACKs flow back).
+  ch.set_rss_symmetric_dbm(0, 1, sig);
+  ch.set_rss_symmetric_dbm(2, 3, sig);
+
+  switch (p.cls) {
+    case TopologyClass::kCS:
+      // Transmitters sense each other (above CS threshold).
+      ch.set_rss_symmetric_dbm(0, 2, interf);
+      // Receivers also hear the foreign transmitter (typical chain layout).
+      ch.set_rss_symmetric_dbm(1, 2, interf);
+      ch.set_rss_symmetric_dbm(0, 3, interf);
+      break;
+    case TopologyClass::kIA:
+      // Hidden transmitters; link A's receiver hears B's transmitter, so A
+      // is the disadvantaged link; B never suffers.
+      ch.set_rss_symmetric_dbm(1, 2, interf);
+      break;
+    case TopologyClass::kNF:
+      // Hidden transmitters; each receiver hears the foreign transmitter.
+      ch.set_rss_symmetric_dbm(1, 2, interf);
+      ch.set_rss_symmetric_dbm(0, 3, interf);
+      break;
+    case TopologyClass::kIndependent:
+      break;  // nothing crosses
+  }
+
+  auto errors = std::make_shared<TableErrorModel>();
+  for (Rate r : {Rate::kR1Mbps, Rate::kR11Mbps}) {
+    errors->set(0, 1, r, p.p_ch_a);
+    errors->set(1, 0, r, 0.0);  // ACK path kept clean unless modeled
+    errors->set(2, 3, r, p.p_ch_b);
+    errors->set(3, 2, r, 0.0);
+  }
+  wb.channel().set_error_model(std::move(errors));
+
+  return {LinkRef{0, 1, rate_a}, LinkRef{2, 3, rate_b}};
+}
+
+}  // namespace meshopt

@@ -1,0 +1,47 @@
+#pragma once
+// Network-validation harness (paper Section 4.5, reused by Figs. 7, 8 and
+// 12): on a testbed instance, pick multi-hop flows, build the feasibility
+// model from measured primary extreme points plus an interference model,
+// compute proportional-fair target rates, inject them (and scaled-up
+// versions) as CBR traffic, and record estimated-vs-achieved throughputs.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/controller.h"
+#include "scenario/testbed.h"
+#include "scenario/workbench.h"
+
+namespace meshopt {
+
+struct ValidationConfig {
+  std::uint64_t seed = 1;
+  Rate rate = Rate::kR1Mbps;
+  int num_flows = 4;
+  int max_hops = 4;
+  double alone_duration_s = 5.0;     ///< per-link maxUDP phase
+  double measure_duration_s = 15.0;  ///< per injected rate vector
+  std::vector<double> scales{1.1, 1.2, 1.5};
+  InterferenceModelKind interference = InterferenceModelKind::kLirTable;
+  double lir_threshold = 0.95;
+};
+
+struct ValidationFlowResult {
+  std::vector<NodeId> path;
+  double estimated_bps = 0.0;  ///< optimizer's target output rate y_s
+  double input_bps = 0.0;      ///< injected x_s = y_s/(1-p_s)
+  double achieved_bps = 0.0;   ///< measured at scale 1.0
+  std::vector<double> scaled_achieved_bps;  ///< per config.scales entry
+};
+
+struct ValidationRun {
+  bool ok = false;
+  int num_links = 0;
+  int extreme_points = 0;
+  std::vector<ValidationFlowResult> flows;
+};
+
+/// Run one validation configuration end to end.
+[[nodiscard]] ValidationRun run_network_validation(const ValidationConfig& cfg);
+
+}  // namespace meshopt

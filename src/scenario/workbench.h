@@ -1,0 +1,73 @@
+#pragma once
+// Experiment workbench: bundles a Simulator, Channel and Network and offers
+// the measurement phases the paper's validation methodology uses —
+// "transmit alone backlogged for T seconds and record maxUDP", "apply this
+// input-rate vector for T seconds and record outputs", etc.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "phy/channel.h"
+#include "sim/simulator.h"
+#include "transport/udp.h"
+
+namespace meshopt {
+
+/// A directed link under test.
+struct LinkRef {
+  NodeId src = -1;
+  NodeId dst = -1;
+  Rate rate = Rate::kR1Mbps;
+};
+
+struct MeasuredOutput {
+  double throughput_bps = 0.0;      ///< delivered UDP payload rate
+  double offered_bps = 0.0;         ///< input (sent) UDP payload rate
+  double loss_rate = 0.0;           ///< 1 - delivered/sent packets
+};
+
+class Workbench {
+ public:
+  explicit Workbench(std::uint64_t seed, PhyParams phy = PhyParams{});
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] Channel& channel() { return channel_; }
+  [[nodiscard]] Network& net() { return net_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Add `n` nodes with default MAC timings.
+  void add_nodes(int n, const MacTimings& timings = MacTimings{});
+
+  /// Measure maxUDP throughput (bits/s of UDP payload) of each link in
+  /// `links` transmitting simultaneously, backlogged, for `duration_s`.
+  /// Pass a single link to obtain the paper's primary extreme points.
+  std::vector<double> measure_backlogged(const std::vector<LinkRef>& links,
+                                         double duration_s,
+                                         int payload_bytes = 1470);
+
+  /// Like measure_backlogged but also reports offered rate and UDP-level
+  /// loss (the residual loss after MAC retries — the paper's p_l).
+  std::vector<MeasuredOutput> measure_backlogged_outputs(
+      const std::vector<LinkRef>& links, double duration_s,
+      int payload_bytes = 1470);
+
+  /// Apply CBR input rates (UDP payload bits/s) on the links and measure
+  /// the output rates over `duration_s`.
+  std::vector<MeasuredOutput> measure_with_input_rates(
+      const std::vector<LinkRef>& links, const std::vector<double>& rates_bps,
+      double duration_s, int payload_bytes = 1470);
+
+  /// Advance simulated time (lets queues drain / probes run).
+  void run_for(double duration_s);
+
+ private:
+  std::uint64_t seed_;
+  Simulator sim_;
+  Channel channel_;
+  Network net_;
+  int next_experiment_ = 0;
+};
+
+}  // namespace meshopt

@@ -1,0 +1,72 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace meshopt {
+
+EventId Simulator::schedule(TimeNs delay, Action action) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(TimeNs when, Action action) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id});
+  live_.emplace(id, std::move(action));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == kNoEvent) return false;
+  return live_.erase(id) > 0;
+}
+
+bool Simulator::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (live_.contains(e.id)) {
+      out = e;
+      return true;
+    }
+    // Cancelled entry: discard lazily.
+  }
+  return false;
+}
+
+void Simulator::run_until(TimeNs until) {
+  stopped_ = false;
+  Entry e;
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.top().time > until) break;
+    if (!pop_next(e)) break;
+    if (e.time > until) {
+      // Reinsert: it was popped but lies beyond the horizon.
+      queue_.push(e);
+      break;
+    }
+    now_ = e.time;
+    auto it = live_.find(e.id);
+    Action action = std::move(it->second);
+    live_.erase(it);
+    ++executed_;
+    action();
+  }
+  if (now_ < until && !stopped_) now_ = until;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  Entry e;
+  while (!stopped_ && pop_next(e)) {
+    now_ = e.time;
+    auto it = live_.find(e.id);
+    Action action = std::move(it->second);
+    live_.erase(it);
+    ++executed_;
+    action();
+  }
+}
+
+}  // namespace meshopt

@@ -1,0 +1,94 @@
+#pragma once
+// Discrete-event simulation core.
+//
+// Time is kept in integer nanoseconds so that event ordering is exact and
+// runs are reproducible. Events are closures; scheduling returns an id that
+// can be used to cancel the event before it fires (cancellation is O(1),
+// the entry is lazily discarded when popped).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace meshopt {
+
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kNanosPerMicro = 1'000;
+constexpr TimeNs kNanosPerMilli = 1'000'000;
+constexpr TimeNs kNanosPerSec = 1'000'000'000;
+
+[[nodiscard]] constexpr TimeNs micros(double us) {
+  return static_cast<TimeNs>(us * static_cast<double>(kNanosPerMicro));
+}
+[[nodiscard]] constexpr TimeNs millis(double ms) {
+  return static_cast<TimeNs>(ms * static_cast<double>(kNanosPerMilli));
+}
+[[nodiscard]] constexpr TimeNs seconds(double s) {
+  return static_cast<TimeNs>(s * static_cast<double>(kNanosPerSec));
+}
+[[nodiscard]] constexpr double to_seconds(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerSec);
+}
+
+/// Handle to a scheduled event. Id 0 is "no event".
+using EventId = std::uint64_t;
+constexpr EventId kNoEvent = 0;
+
+/// Single-threaded discrete-event simulator.
+///
+/// Ties are broken by scheduling order (FIFO among same-time events), which
+/// keeps runs deterministic.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] TimeNs now() const { return now_; }
+
+  /// Schedule `action` to run `delay` ns from now. Negative delays clamp to 0.
+  EventId schedule(TimeNs delay, Action action);
+
+  /// Schedule at an absolute time (clamped to now).
+  EventId schedule_at(TimeNs when, Action action);
+
+  /// Cancel a pending event. Safe to call with kNoEvent or an already-fired
+  /// id (no-op). Returns true if the event was pending and is now cancelled.
+  bool cancel(EventId id);
+
+  /// Run until the event queue drains or simulated time exceeds `until`.
+  void run_until(TimeNs until);
+
+  /// Run until the queue is empty.
+  void run();
+
+  /// Stop a run_* loop after the current event completes.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimeNs time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, Action> live_;
+};
+
+}  // namespace meshopt

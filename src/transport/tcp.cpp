@@ -1,0 +1,209 @@
+#include "transport/tcp.h"
+
+#include <algorithm>
+
+namespace meshopt {
+
+TcpFlow::TcpFlow(Network& net, NodeId src, NodeId dst, TcpParams params,
+                 RngStream rng)
+    : net_(net), src_(src), dst_(dst), p_(params), rng_(rng) {
+  data_flow_ = net_.open_flow(src_, dst_, Protocol::kTcpData, p_.segment_bytes);
+  ack_flow_ = net_.open_flow(dst_, src_, Protocol::kTcpAck, 0);
+  ssthresh_ = p_.initial_ssthresh;
+  rto_s_ = p_.rto_initial_s;
+
+  data_handler_ = net_.node(dst_).add_handler(
+      Protocol::kTcpData, [this](const Packet& pk, NodeId) {
+        if (pk.flow == data_flow_) on_data(pk);
+      });
+  ack_handler_ = net_.node(src_).add_handler(
+      Protocol::kTcpAck, [this](const Packet& pk, NodeId) {
+        if (pk.flow == ack_flow_) on_ack(pk);
+      });
+}
+
+TcpFlow::~TcpFlow() {
+  stop();
+  net_.node(dst_).remove_handler(Protocol::kTcpData, data_handler_);
+  net_.node(src_).remove_handler(Protocol::kTcpAck, ack_handler_);
+}
+
+void TcpFlow::start() {
+  if (running_) return;
+  running_ = true;
+  last_refill_ = net_.sim().now();
+  tokens_bytes_ = static_cast<double>(4 * p_.segment_bytes);
+  try_send();
+}
+
+void TcpFlow::stop() {
+  if (!running_) return;
+  running_ = false;
+  net_.sim().cancel(rto_ev_);
+  rto_ev_ = kNoEvent;
+  net_.sim().cancel(paced_send_ev_);
+  paced_send_ev_ = kNoEvent;
+}
+
+void TcpFlow::set_rate_limit_bps(double bps) {
+  refill_tokens();
+  rate_limit_bps_ = bps;
+  if (running_) try_send();
+}
+
+void TcpFlow::refill_tokens() {
+  const TimeNs now = net_.sim().now();
+  if (rate_limit_bps_ > 0.0) {
+    const double elapsed = to_seconds(now - last_refill_);
+    const double cap = static_cast<double>(8 * p_.segment_bytes);
+    tokens_bytes_ = std::min(cap, tokens_bytes_ +
+                                      elapsed * rate_limit_bps_ / 8.0);
+  }
+  last_refill_ = now;
+}
+
+bool TcpFlow::consume_tokens(int bytes) {
+  if (rate_limit_bps_ <= 0.0) return true;
+  refill_tokens();
+  if (tokens_bytes_ >= static_cast<double>(bytes)) {
+    tokens_bytes_ -= static_cast<double>(bytes);
+    return true;
+  }
+  if (paced_send_ev_ == kNoEvent) {
+    const double deficit = static_cast<double>(bytes) - tokens_bytes_;
+    const double wait_s = deficit * 8.0 / rate_limit_bps_;
+    paced_send_ev_ = net_.sim().schedule(seconds(wait_s) + 1, [this] {
+      paced_send_ev_ = kNoEvent;
+      try_send();
+    });
+  }
+  return false;
+}
+
+void TcpFlow::try_send() {
+  if (!running_) return;
+  const auto window = static_cast<std::uint64_t>(
+      std::min(cwnd_, p_.cwnd_max));
+  while (snd_nxt_ < snd_una_ + window) {
+    if (!consume_tokens(p_.segment_bytes)) return;  // paced resume scheduled
+    send_segment(snd_nxt_, false);
+    ++snd_nxt_;
+  }
+}
+
+void TcpFlow::send_segment(std::uint64_t seq, bool retransmit) {
+  Packet pk;
+  pk.src = src_;
+  pk.dst = dst_;
+  pk.flow = data_flow_;
+  pk.proto = Protocol::kTcpData;
+  pk.bytes = p_.segment_bytes + p_.header_bytes;
+  pk.seq = seq;
+  pk.created = net_.sim().now();
+  net_.node(src_).send(pk);
+  ++net_.flow(data_flow_).sent_packets;
+  auto& rec = sent_[seq];
+  rec.first = net_.sim().now();
+  rec.second = rec.second || retransmit;
+  if (rto_ev_ == kNoEvent) arm_rto();
+}
+
+void TcpFlow::arm_rto() {
+  net_.sim().cancel(rto_ev_);
+  rto_ev_ = net_.sim().schedule(seconds(rto_s_), [this] {
+    rto_ev_ = kNoEvent;
+    on_rto();
+  });
+}
+
+void TcpFlow::on_rto() {
+  if (!running_) return;
+  if (snd_una_ >= snd_nxt_) return;  // nothing outstanding
+  ++timeouts_;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+  dupacks_ = 0;
+  rto_s_ = std::min(rto_s_ * 2.0, p_.rto_max_s);
+  send_segment(snd_una_, true);
+  arm_rto();
+}
+
+void TcpFlow::on_ack(const Packet& pk) {
+  if (!running_) return;
+  const std::uint64_t ack = pk.tcp_ack;  // next expected segment
+  if (ack > snd_una_) {
+    // New data acknowledged.
+    const auto it = sent_.find(ack - 1);
+    if (it != sent_.end() && !it->second.second) {
+      // RTT sample (Karn: never from retransmitted segments).
+      const double sample = to_seconds(net_.sim().now() - it->second.first);
+      if (srtt_s_ == 0.0) {
+        srtt_s_ = sample;
+        rttvar_s_ = sample / 2.0;
+      } else {
+        rttvar_s_ = 0.75 * rttvar_s_ + 0.25 * std::abs(srtt_s_ - sample);
+        srtt_s_ = 0.875 * srtt_s_ + 0.125 * sample;
+      }
+      rto_s_ = std::clamp(srtt_s_ + 4.0 * rttvar_s_, p_.rto_min_s,
+                          p_.rto_max_s);
+    }
+    const double newly = static_cast<double>(ack - snd_una_);
+    // Drop bookkeeping below the new una.
+    sent_.erase(sent_.begin(), sent_.lower_bound(ack));
+    snd_una_ = ack;
+    dupacks_ = 0;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ = std::min(cwnd_ + newly, p_.cwnd_max);  // slow start
+    } else {
+      cwnd_ = std::min(cwnd_ + newly / cwnd_, p_.cwnd_max);
+    }
+    if (snd_una_ >= snd_nxt_) {
+      net_.sim().cancel(rto_ev_);
+      rto_ev_ = kNoEvent;
+    } else {
+      arm_rto();
+    }
+    try_send();
+  } else if (ack == snd_una_ && snd_nxt_ > snd_una_) {
+    ++dupacks_;
+    if (dupacks_ == 3) {
+      // Fast retransmit (simplified Reno: no inflation).
+      ++fast_retransmits_;
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+      cwnd_ = ssthresh_;
+      send_segment(snd_una_, true);
+    }
+  }
+}
+
+void TcpFlow::on_data(const Packet& pk) {
+  if (pk.seq == rcv_nxt_) {
+    ++rcv_nxt_;
+    goodput_bytes_ += static_cast<std::uint64_t>(p_.segment_bytes);
+    // Drain contiguous out-of-order segments.
+    while (!out_of_order_.empty() && *out_of_order_.begin() == rcv_nxt_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++rcv_nxt_;
+      goodput_bytes_ += static_cast<std::uint64_t>(p_.segment_bytes);
+    }
+  } else if (pk.seq > rcv_nxt_) {
+    out_of_order_.insert(pk.seq);
+  }
+  send_ack();
+}
+
+void TcpFlow::send_ack() {
+  Packet pk;
+  pk.src = dst_;
+  pk.dst = src_;
+  pk.flow = ack_flow_;
+  pk.proto = Protocol::kTcpAck;
+  pk.bytes = p_.ack_bytes;
+  pk.seq = ack_seq_++;
+  pk.tcp_ack = rcv_nxt_;
+  pk.created = net_.sim().now();
+  net_.node(dst_).send(pk);
+  ++net_.flow(ack_flow_).sent_packets;
+}
+
+}  // namespace meshopt

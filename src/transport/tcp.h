@@ -1,0 +1,119 @@
+#pragma once
+// Simplified TCP Reno over the mesh network layer.
+//
+// Enough machinery to reproduce the transport-layer phenomena the paper's
+// Section 6 evaluates: slow start, congestion avoidance, triple-duplicate
+// fast retransmit, RTO with backoff, cumulative per-packet ACKs riding the
+// reverse path through the same MAC (so data/ACK collisions — the
+// starvation mechanism of [33] — happen naturally), plus an optional
+// token-bucket rate limit emulating the controller's shaper.
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace meshopt {
+
+struct TcpParams {
+  int segment_bytes = 1460;    ///< payload per segment
+  int header_bytes = 40;       ///< IP+TCP headers
+  int ack_bytes = 40;          ///< pure ACK size on the wire
+  double cwnd_max = 64.0;      ///< receiver window (segments)
+  double initial_ssthresh = 32.0;
+  double rto_min_s = 0.2;
+  double rto_initial_s = 1.0;
+  double rto_max_s = 10.0;
+};
+
+class TcpFlow {
+ public:
+  /// Creates the data (src->dst) and ack (dst->src) flow records. Routes
+  /// must already exist in both directions.
+  TcpFlow(Network& net, NodeId src, NodeId dst, TcpParams params,
+          RngStream rng);
+  ~TcpFlow();
+
+  TcpFlow(const TcpFlow&) = delete;
+  TcpFlow& operator=(const TcpFlow&) = delete;
+
+  void start();
+  void stop();
+
+  /// Shaper emulation: cap the sending rate (payload bits/s); <=0 removes
+  /// the cap.
+  void set_rate_limit_bps(double bps);
+  [[nodiscard]] double rate_limit_bps() const { return rate_limit_bps_; }
+
+  /// In-order bytes delivered to the receiver application.
+  [[nodiscard]] std::uint64_t goodput_bytes() const { return goodput_bytes_; }
+  /// Reset the goodput counter (for measurement windows).
+  void reset_goodput() { goodput_bytes_ = 0; }
+  [[nodiscard]] double goodput_bps(double window_s) const {
+    return window_s > 0 ? 8.0 * static_cast<double>(goodput_bytes_) / window_s
+                        : 0.0;
+  }
+
+  [[nodiscard]] int data_flow_id() const { return data_flow_; }
+  [[nodiscard]] int ack_flow_id() const { return ack_flow_; }
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t fast_retransmits() const {
+    return fast_retransmits_;
+  }
+
+ private:
+  // Sender.
+  void try_send();
+  void send_segment(std::uint64_t seq, bool retransmit);
+  void on_ack(const Packet& p);
+  void arm_rto();
+  void on_rto();
+  bool consume_tokens(int bytes);
+  void refill_tokens();
+
+  // Receiver.
+  void on_data(const Packet& p);
+  void send_ack();
+
+  Network& net_;
+  NodeId src_;
+  NodeId dst_;
+  TcpParams p_;
+  RngStream rng_;
+  int data_flow_ = -1;
+  int ack_flow_ = -1;
+  std::uint64_t data_handler_ = 0;
+  std::uint64_t ack_handler_ = 0;
+  bool running_ = false;
+
+  // Sender state (sequence numbers count segments).
+  std::uint64_t snd_nxt_ = 0;  ///< next new sequence to send
+  std::uint64_t snd_una_ = 0;  ///< lowest unacked sequence
+  double cwnd_ = 1.0;
+  double ssthresh_ = 32.0;
+  int dupacks_ = 0;
+  double srtt_s_ = 0.0;
+  double rttvar_s_ = 0.0;
+  double rto_s_ = 1.0;
+  EventId rto_ev_ = kNoEvent;
+  std::map<std::uint64_t, std::pair<TimeNs, bool>> sent_;  ///< seq -> (t, retx)
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t fast_retransmits_ = 0;
+
+  // Shaper.
+  double rate_limit_bps_ = 0.0;
+  double tokens_bytes_ = 0.0;
+  TimeNs last_refill_ = 0;
+  EventId paced_send_ev_ = kNoEvent;
+
+  // Receiver state.
+  std::uint64_t rcv_nxt_ = 0;
+  std::set<std::uint64_t> out_of_order_;
+  std::uint64_t ack_seq_ = 0;
+  std::uint64_t goodput_bytes_ = 0;
+};
+
+}  // namespace meshopt

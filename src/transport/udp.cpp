@@ -1,0 +1,101 @@
+#include "transport/udp.h"
+
+namespace meshopt {
+
+namespace {
+constexpr NetOverheads kOverheads{};
+}
+
+UdpSource::UdpSource(Network& net, int flow_id, UdpMode mode, double rate_bps,
+                     RngStream rng, int outstanding_target)
+    : net_(net),
+      flow_(flow_id),
+      mode_(mode),
+      rate_bps_(rate_bps),
+      rng_(rng),
+      outstanding_target_(outstanding_target) {}
+
+UdpSource::~UdpSource() { stop(); }
+
+Packet UdpSource::make_packet() {
+  const FlowRecord& f = net_.flow(flow_);
+  Packet p;
+  p.src = f.src;
+  p.dst = f.dst;
+  p.flow = flow_;
+  p.proto = Protocol::kUdp;
+  p.bytes = f.payload_bytes + kOverheads.ip_bytes + kOverheads.udp_bytes;
+  p.seq = seq_++;
+  p.created = net_.sim().now();
+  return p;
+}
+
+void UdpSource::start() {
+  if (running_) return;
+  running_ = true;
+  if (mode_ == UdpMode::kBacklogged) {
+    // Packets in flight from a previous run completed with the hook
+    // removed; restart from a clean slate.
+    outstanding_ = 0;
+    const FlowRecord& f = net_.flow(flow_);
+    net_.node(f.src).set_flow_tx_hook(flow_, [this](bool) {
+      --outstanding_;
+      top_up();
+    });
+    top_up();
+  } else {
+    // Random initial phase so that simultaneous CBR flows do not align.
+    const double interval_s = 8.0 *
+                              static_cast<double>(net_.flow(flow_).payload_bytes) /
+                              (rate_bps_ > 0 ? rate_bps_ : 1.0);
+    next_ev_ = net_.sim().schedule(seconds(rng_.uniform() * interval_s),
+                                   [this] { emit_packet(); });
+  }
+}
+
+void UdpSource::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (next_ev_ != kNoEvent) {
+    net_.sim().cancel(next_ev_);
+    next_ev_ = kNoEvent;
+  }
+  if (mode_ == UdpMode::kBacklogged) {
+    net_.node(net_.flow(flow_).src).clear_flow_tx_hook(flow_);
+  }
+}
+
+void UdpSource::set_rate_bps(double rate_bps) { rate_bps_ = rate_bps; }
+
+void UdpSource::top_up() {
+  if (!running_ || mode_ != UdpMode::kBacklogged) return;
+  FlowRecord& f = net_.flow(flow_);
+  while (outstanding_ < outstanding_target_) {
+    if (!net_.node(f.src).send(make_packet())) break;
+    ++outstanding_;
+    ++f.sent_packets;
+  }
+}
+
+void UdpSource::emit_packet() {
+  next_ev_ = kNoEvent;
+  if (!running_) return;
+  FlowRecord& f = net_.flow(flow_);
+  if (net_.node(f.src).send(make_packet())) ++f.sent_packets;
+  schedule_next();
+}
+
+void UdpSource::schedule_next() {
+  if (!running_ || rate_bps_ <= 0.0) return;
+  const double bits =
+      8.0 * static_cast<double>(net_.flow(flow_).payload_bytes);
+  double gap_s = bits / rate_bps_;
+  if (mode_ == UdpMode::kPoisson) gap_s = rng_.exponential(gap_s);
+  next_ev_ = net_.sim().schedule(seconds(gap_s), [this] { emit_packet(); });
+}
+
+double measured_throughput_bps(const FlowRecord& f, double window_s) {
+  return f.throughput_bps(window_s);
+}
+
+}  // namespace meshopt

@@ -1,0 +1,66 @@
+#pragma once
+// UDP traffic generation (the iperf stand-in).
+//
+// Three source modes:
+//   * kBacklogged — keeps the local MAC queue fed; measures maxUDP
+//     throughput when run alone (the paper's primary extreme points),
+//   * kCbr — constant bit rate at the network layer (the "input rates x"
+//     applied during feasibility-region probing),
+//   * kPoisson — exponential inter-packet gaps at a mean rate.
+//
+// Rates are UDP-payload bits per second. Delivery accounting lives in the
+// Network's FlowRecord; a sink object is not required.
+
+#include <cstdint>
+
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace meshopt {
+
+enum class UdpMode : std::uint8_t { kBacklogged, kCbr, kPoisson };
+
+class UdpSource {
+ public:
+  /// `payload_bytes` is the UDP payload per packet (the paper uses iperf
+  /// defaults; we default to 1470 B).
+  UdpSource(Network& net, int flow_id, UdpMode mode, double rate_bps,
+            RngStream rng, int outstanding_target = 3);
+  ~UdpSource();
+
+  UdpSource(const UdpSource&) = delete;
+  UdpSource& operator=(const UdpSource&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Adjust the CBR/Poisson rate while running.
+  void set_rate_bps(double rate_bps);
+  [[nodiscard]] double rate_bps() const { return rate_bps_; }
+
+  [[nodiscard]] int flow_id() const { return flow_; }
+
+ private:
+  void emit_packet();
+  void schedule_next();
+  void top_up();
+  [[nodiscard]] Packet make_packet();
+
+  Network& net_;
+  int flow_;
+  UdpMode mode_;
+  double rate_bps_;
+  RngStream rng_;
+  int outstanding_target_;
+  int outstanding_ = 0;
+  bool running_ = false;
+  EventId next_ev_ = kNoEvent;
+  std::uint64_t seq_ = 0;
+};
+
+/// Convenience: measured UDP payload throughput of a flow over a window.
+[[nodiscard]] double measured_throughput_bps(const FlowRecord& f,
+                                             double window_s);
+
+}  // namespace meshopt

@@ -1,0 +1,60 @@
+#include "util/mathfit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace meshopt {
+
+double LogFit::eval(double w) const { return a * std::log(w) + b; }
+
+LogFit fit_log_curve(std::span<const double> w, std::span<const double> y) {
+  if (w.size() != y.size())
+    throw std::invalid_argument("fit_log_curve: size mismatch");
+  if (w.size() < 2)
+    throw std::invalid_argument("fit_log_curve: need at least two points");
+
+  // Ordinary least squares on x = ln(w).
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const auto n = static_cast<double>(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w[i] <= 0.0)
+      throw std::invalid_argument("fit_log_curve: w must be positive");
+    const double x = std::log(w[i]);
+    sx += x;
+    sy += y[i];
+    sxx += x * x;
+    sxy += x * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LogFit fit;
+  if (std::abs(denom) < 1e-12) {
+    fit.a = 0.0;
+    fit.b = sy / n;
+  } else {
+    fit.a = (n * sxy - sx * sy) / denom;
+    fit.b = (sy - fit.a * sx) / n;
+  }
+  return fit;
+}
+
+double max_curvature_point(const LogFit& fit, double w_lo, double w_hi) {
+  if (w_lo > w_hi) std::swap(w_lo, w_hi);
+  const double a = std::abs(fit.a);
+  if (a < 1e-15) return w_lo;  // flat curve: earliest point
+  const double w_star = a / std::sqrt(2.0);
+  return std::clamp(w_star, w_lo, w_hi);
+}
+
+double polygon_area(std::span<const Point2> v) {
+  if (v.size() < 3) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const Point2& p = v[i];
+    const Point2& q = v[(i + 1) % v.size()];
+    acc += p.x * q.y - q.x * p.y;
+  }
+  return std::abs(acc) * 0.5;
+}
+
+}  // namespace meshopt

@@ -1,0 +1,44 @@
+#pragma once
+// Curve fitting helpers for the channel-loss estimator (Section 5.3 of the
+// paper): least-squares fit of f(w) = a*ln(w) + b and the point of maximum
+// curvature of that curve, plus the polygon-area helper used by the
+// analytic FP/FN error computation (Section 4.4, Figure 6).
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace meshopt {
+
+/// Result of fitting f(w) = a*ln(w) + b.
+struct LogFit {
+  double a = 0.0;
+  double b = 0.0;
+
+  [[nodiscard]] double eval(double w) const;
+};
+
+/// Least-squares fit of y = a*ln(w) + b over samples (w_i > 0, y_i).
+/// Throws std::invalid_argument for fewer than two points.
+[[nodiscard]] LogFit fit_log_curve(std::span<const double> w,
+                                   std::span<const double> y);
+
+/// The w > 0 at which the curvature of f(w) = a*ln(w)+b is maximal,
+/// clamped to [w_lo, w_hi].
+///
+/// kappa(w) = |f''| / (1 + f'^2)^{3/2} = |a| w / (w^2 + a^2)^{3/2},
+/// maximized at w* = |a| / sqrt(2).
+[[nodiscard]] double max_curvature_point(const LogFit& fit, double w_lo,
+                                         double w_hi);
+
+/// 2-D point for region-area computations.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Signed-area-free polygon area via the shoelace formula (vertices in
+/// order, either orientation).
+[[nodiscard]] double polygon_area(std::span<const Point2> vertices);
+
+}  // namespace meshopt

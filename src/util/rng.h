@@ -1,0 +1,84 @@
+#pragma once
+// Deterministic random number streams.
+//
+// Every stochastic component in the library draws from its own named stream
+// derived from a single master seed, so that simulations are reproducible
+// bit-for-bit regardless of the order in which components are constructed
+// or how many draws other components make.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+
+namespace meshopt {
+
+/// A self-contained pseudo-random stream (mt19937_64 based).
+///
+/// Streams are cheap to construct; derive one per component via
+/// RngStream(masterSeed, "component-name").
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive a substream deterministically from a master seed and a label.
+  RngStream(std::uint64_t master_seed, std::string_view label)
+      : engine_(mix(master_seed, hash(label))) {}
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Exponential variate with the given mean.
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal variate.
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Raw 64-bit draw (for deriving further seeds).
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+  /// FNV-1a hash of a label, used to derive substream seeds.
+  [[nodiscard]] static std::uint64_t hash(std::string_view s) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  /// splitmix64-style mixing of two seeds.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t z = a + 0x9e3779b97f4a7c15ULL + b;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace meshopt

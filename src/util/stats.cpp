@@ -1,0 +1,108 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace meshopt {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+void Cdf::add(double x) {
+  sorted_.push_back(x);
+  dirty_ = true;
+}
+
+void Cdf::ensure_sorted() const {
+  if (dirty_) {
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+}
+
+double Cdf::fraction_below(double x) const {
+  ensure_sorted();
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+  ensure_sorted();
+  if (sorted_.empty()) throw std::domain_error("quantile of empty CDF");
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(int points) const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points < 2) return out;
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, fraction_below(x));
+  }
+  return out;
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("rmse: size mismatch");
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double jain_fairness_index(std::span<const double> x) {
+  if (x.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(x.size()) * sum_sq);
+}
+
+double mean_of(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+}  // namespace meshopt

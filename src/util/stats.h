@@ -1,0 +1,68 @@
+#pragma once
+// Statistics helpers used throughout the benchmarks and estimators:
+// running moments, empirical CDFs, RMSE, and Jain's fairness index.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace meshopt {
+
+/// Incremental mean/variance accumulator (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical CDF over a sample set.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  void add(double x);
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double fraction_below(double x) const;
+
+  /// q-quantile (q in [0,1]), by linear interpolation between order stats.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Evenly spaced (value, fraction) pairs, convenient for printing a curve.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      int points = 20) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = false;
+};
+
+/// Root mean square error between two equally sized vectors.
+[[nodiscard]] double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2). 1 when all equal,
+/// 1/n when one value dominates. Zero-length or all-zero input yields 1.
+[[nodiscard]] double jain_fairness_index(std::span<const double> x);
+
+/// Arithmetic mean of a span (0 for empty input).
+[[nodiscard]] double mean_of(std::span<const double> x);
+
+}  // namespace meshopt

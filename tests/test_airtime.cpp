@@ -1,0 +1,118 @@
+#include "mac/airtime.h"
+
+#include <gtest/gtest.h>
+
+namespace meshopt {
+namespace {
+
+const MacTimings kT{};
+
+TEST(Airtime, FrameDurationAt1Mbps) {
+  // 100 bytes at 1 Mb/s: 192 us PLCP + 800 us payload.
+  EXPECT_EQ(frame_duration(kT, 100, Rate::kR1Mbps), micros(192 + 800));
+}
+
+TEST(Airtime, FrameDurationAt11Mbps) {
+  // 1100 bytes at 11 Mb/s: 192 us PLCP + 800 us payload.
+  EXPECT_EQ(frame_duration(kT, 1100, Rate::kR11Mbps), micros(192 + 800));
+}
+
+TEST(Airtime, AckDuration) {
+  // 14 bytes at 1 Mb/s = 112 us + 192 us PLCP.
+  EXPECT_EQ(ack_duration(kT), micros(304));
+}
+
+TEST(Airtime, EifsComposition) {
+  EXPECT_EQ(kT.eifs(), kT.sifs + ack_duration(kT) + kT.difs);
+}
+
+TEST(Airtime, ContentionWindowLadder) {
+  EXPECT_EQ(kT.cw_at_stage(0), 32);
+  EXPECT_EQ(kT.cw_at_stage(1), 64);
+  EXPECT_EQ(kT.cw_at_stage(5), 1024);
+  EXPECT_EQ(kT.cw_at_stage(9), 1024);  // capped at stage m
+  EXPECT_EQ(kT.cw_max(), 1024);
+}
+
+TEST(Airtime, NominalThroughput1MbpsMatchesHandComputation) {
+  // P=1470B payload, +28B IP/UDP, +36B MAC+LLC = 1534B on air.
+  // Tdata = 192 + 1534*8 = 12464 us. Cycle = 50 (DIFS) + 310 (mean BO)
+  //        + 12464 + 10 (SIFS) + 304 (ACK) = 13138 us.
+  const double expected = 1470.0 * 8.0 / 13138e-6;
+  EXPECT_NEAR(nominal_throughput_bps(kT, 1470, Rate::kR1Mbps), expected,
+              expected * 1e-9);
+}
+
+TEST(Airtime, NominalThroughput11MbpsBelowNominalRate) {
+  const double tnom = nominal_throughput_bps(kT, 1470, Rate::kR11Mbps);
+  EXPECT_LT(tnom, 11e6);
+  EXPECT_GT(tnom, 5e6);  // sane efficiency for big frames
+}
+
+TEST(Airtime, NominalThroughputGrowsWithPayload) {
+  const double small = nominal_throughput_bps(kT, 200, Rate::kR11Mbps);
+  const double large = nominal_throughput_bps(kT, 1470, Rate::kR11Mbps);
+  EXPECT_GT(large, small);
+}
+
+TEST(Airtime, BackoffBetweenStages) {
+  // F(1,1) = slot * (64-1)/2 = 630 us.
+  EXPECT_EQ(backoff_between_stages(kT, 1, 1), kT.slot * 63 / 2);
+  // Empty interval.
+  EXPECT_EQ(backoff_between_stages(kT, 1, 0), 0);
+  // F(1,2) = 630 + 1270 us.
+  EXPECT_EQ(backoff_between_stages(kT, 1, 2),
+            kT.slot * 63 / 2 + kT.slot * 127 / 2);
+}
+
+TEST(CapacityModel, ZeroLossEqualsNominal) {
+  EXPECT_DOUBLE_EQ(max_udp_throughput_bps(kT, 1470, Rate::kR1Mbps, 0.0),
+                   nominal_throughput_bps(kT, 1470, Rate::kR1Mbps));
+}
+
+TEST(CapacityModel, MonotoneDecreasingInLoss) {
+  double prev = max_udp_throughput_bps(kT, 1470, Rate::kR11Mbps, 0.0);
+  for (double p = 0.05; p <= 0.9; p += 0.05) {
+    const double cur = max_udp_throughput_bps(kT, 1470, Rate::kR11Mbps, p);
+    EXPECT_LT(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(CapacityModel, HalfLossRoughlyHalvesThroughput) {
+  // At p=0.5 ETX=2: throughput should fall to roughly half (a bit less due
+  // to the extra stage-1 backoff).
+  const double full = max_udp_throughput_bps(kT, 1470, Rate::kR1Mbps, 0.0);
+  const double half = max_udp_throughput_bps(kT, 1470, Rate::kR1Mbps, 0.5);
+  EXPECT_LT(half, 0.52 * full);
+  EXPECT_GT(half, 0.40 * full);
+}
+
+TEST(CapacityModel, ClampsPathologicalLoss) {
+  const double t99 = max_udp_throughput_bps(kT, 1470, Rate::kR1Mbps, 0.99);
+  const double t95 = max_udp_throughput_bps(kT, 1470, Rate::kR1Mbps, 0.95);
+  EXPECT_DOUBLE_EQ(t99, t95);
+  EXPECT_GT(t99, 0.0);
+}
+
+TEST(CapacityModel, NegativeLossTreatedAsZero) {
+  EXPECT_DOUBLE_EQ(max_udp_throughput_bps(kT, 1470, Rate::kR1Mbps, -0.1),
+                   max_udp_throughput_bps(kT, 1470, Rate::kR1Mbps, 0.0));
+}
+
+class CapacityRateSweep : public ::testing::TestWithParam<Rate> {};
+
+TEST_P(CapacityRateSweep, EightyPercentLossStillPositive) {
+  EXPECT_GT(max_udp_throughput_bps(kT, 1470, GetParam(), 0.8), 0.0);
+}
+
+TEST_P(CapacityRateSweep, ThroughputBelowModulationRate) {
+  EXPECT_LT(nominal_throughput_bps(kT, 1470, GetParam()),
+            rate_bps(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, CapacityRateSweep,
+                         ::testing::Values(Rate::kR1Mbps, Rate::kR11Mbps));
+
+}  // namespace
+}  // namespace meshopt

@@ -1,0 +1,161 @@
+#include "model/conflict_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace meshopt {
+namespace {
+
+TEST(ConflictGraph, EmptyGraphSingleMis) {
+  // No conflicts: the only maximal independent set is "all links".
+  ConflictGraph g(4);
+  const auto sets = g.maximal_independent_sets();
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0], (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ConflictGraph, CompleteGraphSingletons) {
+  ConflictGraph g(4);
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j) g.add_conflict(i, j);
+  const auto sets = g.maximal_independent_sets();
+  ASSERT_EQ(sets.size(), 4u);
+  for (const auto& s : sets) EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(ConflictGraph, PathGraphMis) {
+  // Path 0-1-2-3: maximal independent sets {0,2},{0,3},{1,3}.
+  ConflictGraph g(4);
+  g.add_conflict(0, 1);
+  g.add_conflict(1, 2);
+  g.add_conflict(2, 3);
+  const auto sets = g.maximal_independent_sets();
+  const std::set<std::vector<int>> got(sets.begin(), sets.end());
+  const std::set<std::vector<int>> want{{0, 2}, {0, 3}, {1, 3}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(ConflictGraph, SelfConflictIgnored) {
+  ConflictGraph g(2);
+  g.add_conflict(0, 0);
+  EXPECT_FALSE(g.conflicts(0, 0));
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+TEST(ConflictGraph, SymmetricEdges) {
+  ConflictGraph g(3);
+  g.add_conflict(0, 2);
+  EXPECT_TRUE(g.conflicts(2, 0));
+  EXPECT_TRUE(g.conflicts(0, 2));
+  EXPECT_FALSE(g.conflicts(0, 1));
+}
+
+// Brute-force reference: enumerate all subsets, keep independent ones that
+// are maximal.
+std::set<std::vector<int>> brute_force_mis(const ConflictGraph& g) {
+  const int n = g.size();
+  std::vector<std::vector<int>> independents;
+  for (int mask = 1; mask < (1 << n); ++mask) {
+    std::vector<int> s;
+    for (int v = 0; v < n; ++v)
+      if (mask & (1 << v)) s.push_back(v);
+    bool indep = true;
+    for (std::size_t a = 0; a < s.size() && indep; ++a)
+      for (std::size_t b = a + 1; b < s.size() && indep; ++b)
+        if (g.conflicts(s[a], s[b])) indep = false;
+    if (indep) independents.push_back(s);
+  }
+  std::set<std::vector<int>> maximal;
+  for (const auto& s : independents) {
+    bool is_max = true;
+    for (const auto& t : independents) {
+      if (t.size() > s.size() &&
+          std::includes(t.begin(), t.end(), s.begin(), s.end()))
+        is_max = false;
+    }
+    if (is_max) maximal.insert(s);
+  }
+  return maximal;
+}
+
+class RandomGraphMis : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphMis, MatchesBruteForce) {
+  RngStream rng(static_cast<std::uint64_t>(GetParam()), "graph");
+  const int n = rng.uniform_int(3, 11);
+  ConflictGraph g(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (rng.bernoulli(0.4)) g.add_conflict(i, j);
+
+  const auto fast = g.maximal_independent_sets();
+  const std::set<std::vector<int>> got(fast.begin(), fast.end());
+  EXPECT_EQ(got, brute_force_mis(g)) << "n=" << n;
+  EXPECT_EQ(got.size(), fast.size()) << "duplicates emitted";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphMis, ::testing::Range(1, 21));
+
+TEST(ConflictGraph, MisPropertiesOnLargerGraph) {
+  RngStream rng(99, "big");
+  const int n = 30;
+  ConflictGraph g(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (rng.bernoulli(0.3)) g.add_conflict(i, j);
+  const auto sets = g.maximal_independent_sets();
+  ASSERT_FALSE(sets.empty());
+  for (const auto& s : sets) {
+    // Independent.
+    for (std::size_t a = 0; a < s.size(); ++a)
+      for (std::size_t b = a + 1; b < s.size(); ++b)
+        EXPECT_FALSE(g.conflicts(s[a], s[b]));
+    // Maximal: no vertex outside is compatible with all members.
+    for (int v = 0; v < n; ++v) {
+      if (std::find(s.begin(), s.end(), v) != s.end()) continue;
+      bool compatible = true;
+      for (int u : s)
+        if (g.conflicts(u, v)) compatible = false;
+      EXPECT_FALSE(compatible) << "set not maximal";
+    }
+  }
+}
+
+TEST(TwoHopConflicts, SharedEndpointAlwaysConflicts) {
+  const std::vector<LinkRef> links = {{0, 1}, {1, 2}, {3, 4}};
+  const auto no_neighbors = [](NodeId, NodeId) { return false; };
+  const ConflictGraph g = build_two_hop_conflict_graph(links, no_neighbors);
+  EXPECT_TRUE(g.conflicts(0, 1));   // share node 1
+  EXPECT_FALSE(g.conflicts(0, 2));  // disjoint, no neighbors
+}
+
+TEST(TwoHopConflicts, OneHopNeighborhoodConflicts) {
+  const std::vector<LinkRef> links = {{0, 1}, {2, 3}, {4, 5}};
+  // 1 and 2 are neighbors; 3..5 isolated from 0..1.
+  const auto neighbors = [](NodeId a, NodeId b) {
+    return (a == 1 && b == 2) || (a == 2 && b == 1);
+  };
+  const ConflictGraph g = build_two_hop_conflict_graph(links, neighbors);
+  EXPECT_TRUE(g.conflicts(0, 1));
+  EXPECT_FALSE(g.conflicts(0, 2));
+  EXPECT_FALSE(g.conflicts(1, 2));
+}
+
+TEST(LirConflicts, ThresholdClassification) {
+  std::vector<std::vector<double>> lir = {
+      {1.0, 0.5, 0.97},
+      {0.5, 1.0, 0.94},
+      {0.97, 0.94, 1.0},
+  };
+  const ConflictGraph g = build_lir_conflict_graph(lir, 0.95);
+  EXPECT_TRUE(g.conflicts(0, 1));
+  EXPECT_FALSE(g.conflicts(0, 2));
+  EXPECT_TRUE(g.conflicts(1, 2));
+}
+
+}  // namespace
+}  // namespace meshopt

@@ -1,0 +1,138 @@
+// Channel-loss estimator unit tests on synthetic loss patterns: the
+// estimator must report p for uniform losses (case 1) and filter out
+// bursty collision losses to recover the channel-only rate (case 2).
+
+#include "estimation/loss_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace meshopt {
+namespace {
+
+std::vector<std::uint8_t> uniform_losses(int s, double p, std::uint64_t seed) {
+  RngStream rng(seed, "uniform");
+  std::vector<std::uint8_t> v(static_cast<std::size_t>(s), 0);
+  for (auto& b : v) b = rng.bernoulli(p) ? 1 : 0;
+  return v;
+}
+
+/// Uniform channel losses plus bursts of collision losses.
+std::vector<std::uint8_t> bursty_losses(int s, double p_ch, int bursts,
+                                        int burst_len, std::uint64_t seed) {
+  auto v = uniform_losses(s, p_ch, seed);
+  RngStream rng(seed, "bursts");
+  for (int b = 0; b < bursts; ++b) {
+    const int start = rng.uniform_int(0, s - burst_len - 1);
+    for (int i = 0; i < burst_len; ++i) v[std::size_t(start + i)] = 1;
+  }
+  return v;
+}
+
+TEST(LossEstimator, EmptyPattern) {
+  const auto est = estimate_channel_loss({});
+  EXPECT_EQ(est.p, 0.0);
+  EXPECT_EQ(est.p_ch, 0.0);
+}
+
+TEST(LossEstimator, NoLosses) {
+  std::vector<std::uint8_t> v(500, 0);
+  const auto est = estimate_channel_loss(v);
+  EXPECT_EQ(est.p, 0.0);
+  EXPECT_EQ(est.p_ch, 0.0);
+  EXPECT_TRUE(est.median_case);
+}
+
+TEST(LossEstimator, AllLost) {
+  std::vector<std::uint8_t> v(500, 1);
+  const auto est = estimate_channel_loss(v);
+  EXPECT_EQ(est.p, 1.0);
+  EXPECT_NEAR(est.p_ch, 1.0, 1e-12);
+}
+
+TEST(LossEstimator, UniformLossesTriggerMedianCase) {
+  const auto v = uniform_losses(1280, 0.2, 42);
+  const auto est = estimate_channel_loss(v);
+  EXPECT_TRUE(est.median_case);
+  EXPECT_NEAR(est.p_ch, est.p, 1e-12);
+  EXPECT_NEAR(est.p_ch, 0.2, 0.05);
+}
+
+TEST(LossEstimator, BurstyCollisionsFiltered) {
+  // 5% channel losses plus heavy bursts pushing measured p much higher.
+  const auto v = bursty_losses(1280, 0.05, 12, 40, 7);
+  const auto est = estimate_channel_loss(v);
+  EXPECT_GT(est.p, 0.30);  // bursts inflate the measured rate
+  EXPECT_FALSE(est.median_case);
+  EXPECT_NEAR(est.p_ch, 0.05, 0.04);
+}
+
+TEST(LossEstimator, PwEndsAtPAndStaysInRange) {
+  const auto v = bursty_losses(640, 0.1, 6, 30, 3);
+  const auto est = estimate_channel_loss(v);
+  ASSERT_FALSE(est.p_w.empty());
+  // p^(S) equals the measured p by construction (single full window).
+  EXPECT_NEAR(est.p_w.back(), est.p, 1e-12);
+  for (double pw : est.p_w) {
+    EXPECT_GE(pw, 0.0);
+    EXPECT_LE(pw, 1.0);
+  }
+  // The smallest window estimate lower-bounds p (it can always slide to
+  // the cleanest segment).
+  EXPECT_LE(est.p_w.front(), est.p + 1e-12);
+}
+
+TEST(LossEstimator, WStarWithinRange) {
+  const auto v = bursty_losses(800, 0.08, 8, 25, 11);
+  const auto est = estimate_channel_loss(v, 10);
+  EXPECT_GE(est.w_star, 10);
+  EXPECT_LE(est.w_star, 800);
+}
+
+// Property sweep: across channel rates and burst intensities, the estimate
+// must stay close to the planted channel rate (this is Fig. 10's claim:
+// RMSE ~0.05 over many links).
+class EstimatorGrid
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(EstimatorGrid, RecoversPlantedChannelRate) {
+  const auto [p_ch, bursts] = GetParam();
+  double err_acc = 0.0;
+  const int runs = 8;
+  for (int r = 0; r < runs; ++r) {
+    const auto v =
+        bursty_losses(1280, p_ch, bursts, 35, 100 + static_cast<std::uint64_t>(r));
+    const auto est = estimate_channel_loss(v);
+    err_acc += (est.p_ch - p_ch) * (est.p_ch - p_ch);
+  }
+  const double rmse = std::sqrt(err_acc / runs);
+  EXPECT_LT(rmse, 0.08) << "p_ch=" << p_ch << " bursts=" << bursts;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EstimatorGrid,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.1, 0.2, 0.3),
+                       ::testing::Values(0, 5, 12)));
+
+TEST(LossEstimator, CombineDataAckLoss) {
+  EXPECT_DOUBLE_EQ(combine_data_ack_loss(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(combine_data_ack_loss(1.0, 0.0), 1.0);
+  EXPECT_NEAR(combine_data_ack_loss(0.1, 0.2), 1.0 - 0.9 * 0.8, 1e-12);
+  // Clamping.
+  EXPECT_DOUBLE_EQ(combine_data_ack_loss(-0.5, 2.0), 1.0);
+}
+
+TEST(LossEstimator, ShortWindowStillSane) {
+  // S = 200 (the controller's operating point).
+  const auto v = bursty_losses(200, 0.1, 3, 20, 21);
+  const auto est = estimate_channel_loss(v);
+  EXPECT_GE(est.p_ch, 0.0);
+  EXPECT_LE(est.p_ch, est.p + 1e-12);
+  EXPECT_NEAR(est.p_ch, 0.1, 0.09);
+}
+
+}  // namespace
+}  // namespace meshopt

@@ -1,0 +1,162 @@
+// Validation of the DCF simulator on a single isolated link: measured
+// maxUDP throughput must track the closed-form airtime model (which is the
+// entire premise of the paper's Eq. 6 capacity representation).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mac/airtime.h"
+#include "scenario/workbench.h"
+
+namespace meshopt {
+namespace {
+
+constexpr int kPayload = 1470;
+
+double measure_clean_link(Rate rate, double p_loss, double duration_s = 20.0,
+                          std::uint64_t seed = 7) {
+  Workbench wb(seed);
+  wb.add_nodes(2);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -55.0);
+  auto errors = std::make_shared<TableErrorModel>();
+  errors->set(0, 1, rate, p_loss);
+  wb.channel().set_error_model(std::move(errors));
+  return wb.measure_backlogged({LinkRef{0, 1, rate}}, duration_s,
+                               kPayload)[0];
+}
+
+TEST(MacSingleLink, LosslessThroughputMatchesNominalModel1Mbps) {
+  const double measured = measure_clean_link(Rate::kR1Mbps, 0.0);
+  const double model = nominal_throughput_bps(MacTimings{}, kPayload,
+                                              Rate::kR1Mbps);
+  EXPECT_NEAR(measured, model, 0.03 * model)
+      << "measured=" << measured << " model=" << model;
+}
+
+TEST(MacSingleLink, LosslessThroughputMatchesNominalModel11Mbps) {
+  const double measured = measure_clean_link(Rate::kR11Mbps, 0.0);
+  const double model = nominal_throughput_bps(MacTimings{}, kPayload,
+                                              Rate::kR11Mbps);
+  EXPECT_NEAR(measured, model, 0.03 * model);
+}
+
+class LossSweep : public ::testing::TestWithParam<std::tuple<Rate, double>> {};
+
+TEST_P(LossSweep, Eq6TracksSimulatedThroughput) {
+  const auto [rate, p] = GetParam();
+  const double measured = measure_clean_link(rate, p, 25.0);
+  const double model = max_udp_throughput_bps(MacTimings{}, kPayload, rate, p);
+  // Eq. 6 is an approximation (the paper reports ~12% RMSE): its
+  // floor(ETX) backoff term undercounts the geometric tail of retry
+  // backoffs, which shows at high loss where airtime stops dominating.
+  const double tol = p <= 0.3 ? 0.10 : 0.20;
+  EXPECT_NEAR(measured, model, tol * model)
+      << rate_name(rate) << " p=" << p << " measured=" << measured
+      << " model=" << model;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LossSweep,
+    ::testing::Combine(::testing::Values(Rate::kR1Mbps, Rate::kR11Mbps),
+                       ::testing::Values(0.0, 0.1, 0.2, 0.3, 0.4)));
+
+TEST(MacSingleLink, RetryLimitDropsUnderExtremeLoss) {
+  Workbench wb(11);
+  wb.add_nodes(2);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -55.0);
+  auto errors = std::make_shared<TableErrorModel>();
+  errors->set(0, 1, Rate::kR1Mbps, 0.95);
+  wb.channel().set_error_model(std::move(errors));
+  wb.measure_backlogged({LinkRef{0, 1, Rate::kR1Mbps}}, 10.0, kPayload);
+  EXPECT_GT(wb.net().node(0).mac().stats().tx_dropped, 0u);
+}
+
+TEST(MacSingleLink, NoLossesMeansNoRetries) {
+  Workbench wb(13);
+  wb.add_nodes(2);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -55.0);
+  wb.measure_backlogged({LinkRef{0, 1, Rate::kR1Mbps}}, 5.0, kPayload);
+  const MacStats& st = wb.net().node(0).mac().stats();
+  EXPECT_EQ(st.tx_dropped, 0u);
+  EXPECT_EQ(st.tx_attempts, st.tx_success);
+  EXPECT_EQ(wb.net().node(1).mac().stats().rx_duplicates, 0u);
+}
+
+TEST(MacSingleLink, DuplicateFilteringUnderAckLoss) {
+  // Lose many ACKs (1 Mb/s entries affect ACK frames): the receiver must
+  // filter retransmitted duplicates rather than deliver them twice.
+  Workbench wb(17);
+  wb.add_nodes(2);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -55.0);
+  auto errors = std::make_shared<TableErrorModel>();
+  errors->set(1, 0, Rate::kR1Mbps, 0.4);  // ACK direction
+  wb.channel().set_error_model(std::move(errors));
+  wb.measure_backlogged({LinkRef{0, 1, Rate::kR11Mbps}}, 10.0, kPayload);
+  const MacStats& rx = wb.net().node(1).mac().stats();
+  EXPECT_GT(rx.rx_duplicates, 0u);
+  // Delivered count (deduped) must not exceed sender successes + in-flight.
+  const MacStats& tx = wb.net().node(0).mac().stats();
+  EXPECT_LE(rx.rx_delivered, tx.tx_success + tx.tx_dropped + 2);
+}
+
+TEST(MacSingleLink, BroadcastNeverRetransmits) {
+  Workbench wb(19);
+  wb.add_nodes(2);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -55.0);
+  auto errors = std::make_shared<TableErrorModel>();
+  errors->set(0, 1, Rate::kR1Mbps, 0.5);
+  wb.channel().set_error_model(std::move(errors));
+  wb.net().node(0).mac().set_queue_capacity(256);
+
+  // Send 200 broadcast packets directly through the node.
+  int sent = 0;
+  for (int i = 0; i < 200; ++i) {
+    Packet p;
+    p.src = 0;
+    p.dst = kBroadcast;
+    p.proto = Protocol::kProbe;
+    p.bytes = 100;
+    p.seq = static_cast<std::uint64_t>(i);
+    if (wb.net().node(0).send_broadcast(p, Rate::kR1Mbps)) ++sent;
+  }
+  wb.run_for(10.0);
+  const MacStats& st = wb.net().node(0).mac().stats();
+  EXPECT_EQ(st.tx_attempts, static_cast<std::uint64_t>(sent));
+  // Roughly half should be lost to the 0.5 channel error (binomial bounds).
+  const auto delivered = wb.net().node(1).mac().stats().rx_delivered;
+  EXPECT_GT(delivered, 60u);
+  EXPECT_LT(delivered, 140u);
+}
+
+TEST(MacSingleLink, QueueCapacityRespected) {
+  Workbench wb(23);
+  wb.add_nodes(2);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -55.0);
+  wb.net().node(0).mac().set_queue_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    Packet p;
+    p.src = 0;
+    p.dst = kBroadcast;
+    p.proto = Protocol::kProbe;
+    p.bytes = 100;
+    wb.net().node(0).send_broadcast(p, Rate::kR1Mbps);
+  }
+  EXPECT_GT(wb.net().node(0).mac().stats().queue_rejections, 0u);
+  wb.run_for(1.0);
+}
+
+TEST(MacSingleLink, DeterministicAcrossRuns) {
+  const double a = measure_clean_link(Rate::kR11Mbps, 0.2, 5.0, 99);
+  const double b = measure_clean_link(Rate::kR11Mbps, 0.2, 5.0, 99);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(MacSingleLink, SeedChangesJitterButNotMean) {
+  const double a = measure_clean_link(Rate::kR11Mbps, 0.0, 5.0, 1);
+  const double b = measure_clean_link(Rate::kR11Mbps, 0.0, 5.0, 2);
+  EXPECT_NEAR(a, b, 0.05 * a);
+}
+
+}  // namespace
+}  // namespace meshopt

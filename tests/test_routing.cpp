@@ -1,0 +1,115 @@
+#include "routing/ett.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace meshopt {
+namespace {
+
+LinkState mk(NodeId a, NodeId b, Rate r = Rate::kR11Mbps, double pf = 0.0,
+             double pr = 0.0) {
+  LinkState l;
+  l.src = a;
+  l.dst = b;
+  l.rate = r;
+  l.p_fwd = pf;
+  l.p_rev = pr;
+  return l;
+}
+
+TEST(Ett, CleanLinkIsTransmissionTime) {
+  const LinkState l = mk(0, 1, Rate::kR1Mbps);
+  EXPECT_NEAR(ett_seconds(l, 1500), 1500.0 * 8.0 / 1e6, 1e-12);
+}
+
+TEST(Ett, LossInflatesMetric) {
+  const LinkState clean = mk(0, 1, Rate::kR11Mbps);
+  const LinkState lossy = mk(0, 1, Rate::kR11Mbps, 0.5, 0.0);
+  EXPECT_NEAR(ett_seconds(lossy) / ett_seconds(clean), 2.0, 1e-9);
+  const LinkState both = mk(0, 1, Rate::kR11Mbps, 0.5, 0.5);
+  EXPECT_NEAR(ett_seconds(both) / ett_seconds(clean), 4.0, 1e-9);
+}
+
+TEST(Ett, DeadLinkInfinite) {
+  EXPECT_TRUE(std::isinf(ett_seconds(mk(0, 1, Rate::kR1Mbps, 1.0, 0.0))));
+}
+
+TEST(TopologyDb, UpdateOverwrites) {
+  TopologyDb db;
+  db.update_link(mk(0, 1, Rate::kR1Mbps, 0.1));
+  db.update_link(mk(0, 1, Rate::kR1Mbps, 0.4));
+  ASSERT_TRUE(db.link(0, 1).has_value());
+  EXPECT_NEAR(db.link(0, 1)->p_fwd, 0.4, 1e-12);
+  EXPECT_EQ(db.links().size(), 1u);
+}
+
+TEST(TopologyDb, ShortestPathPrefersFastCleanRoute) {
+  TopologyDb db;
+  // Direct 1 Mb/s lossy link vs 2-hop clean 11 Mb/s path.
+  db.update_link(mk(0, 2, Rate::kR1Mbps, 0.3, 0.0));
+  db.update_link(mk(0, 1, Rate::kR11Mbps));
+  db.update_link(mk(1, 2, Rate::kR11Mbps));
+  const auto path = db.shortest_path(0, 2);
+  EXPECT_EQ(path, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(TopologyDb, DirectWinsWhenCleanAndFast) {
+  TopologyDb db;
+  db.update_link(mk(0, 2, Rate::kR11Mbps));
+  db.update_link(mk(0, 1, Rate::kR11Mbps));
+  db.update_link(mk(1, 2, Rate::kR11Mbps));
+  EXPECT_EQ(db.shortest_path(0, 2), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(TopologyDb, UnreachableIsEmpty) {
+  TopologyDb db;
+  db.update_link(mk(0, 1));
+  EXPECT_TRUE(db.shortest_path(0, 5).empty());
+}
+
+TEST(TopologyDb, AvoidsDeadLinks) {
+  TopologyDb db;
+  db.update_link(mk(0, 2, Rate::kR11Mbps, 1.0, 0.0));  // dead
+  db.update_link(mk(0, 1, Rate::kR1Mbps));
+  db.update_link(mk(1, 2, Rate::kR1Mbps));
+  EXPECT_EQ(db.shortest_path(0, 2), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(TopologyDb, PathEttSumsHops) {
+  TopologyDb db;
+  db.update_link(mk(0, 1, Rate::kR1Mbps));
+  db.update_link(mk(1, 2, Rate::kR1Mbps));
+  const double one_hop = ett_seconds(mk(0, 1, Rate::kR1Mbps));
+  EXPECT_NEAR(db.path_ett({0, 1, 2}), 2.0 * one_hop, 1e-12);
+  EXPECT_TRUE(std::isinf(db.path_ett({0, 2})));
+}
+
+TEST(RoutingMatrix, MarksTraversedLinks) {
+  const std::vector<LinkState> links = {mk(0, 1), mk(1, 2), mk(2, 3),
+                                        mk(1, 3)};
+  const std::vector<std::vector<NodeId>> paths = {
+      {0, 1, 2},  // flow 0
+      {1, 3},     // flow 1
+  };
+  const auto r = build_routing_matrix(links, paths);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0][0], 1.0);  // 0->1 used by flow 0
+  EXPECT_EQ(r[1][0], 1.0);  // 1->2 used by flow 0
+  EXPECT_EQ(r[2][0], 0.0);
+  EXPECT_EQ(r[3][0], 0.0);
+  EXPECT_EQ(r[3][1], 1.0);  // 1->3 used by flow 1
+  EXPECT_EQ(r[0][1], 0.0);
+}
+
+TEST(PathLoss, ComposesForwardLosses) {
+  TopologyDb db;
+  db.update_link(mk(0, 1, Rate::kR1Mbps, 0.1));
+  db.update_link(mk(1, 2, Rate::kR1Mbps, 0.2));
+  EXPECT_NEAR(path_loss(db, {0, 1, 2}), 1.0 - 0.9 * 0.8, 1e-12);
+  // Missing hop counts as total loss.
+  EXPECT_NEAR(path_loss(db, {0, 2}), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace meshopt

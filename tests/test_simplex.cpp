@@ -1,0 +1,179 @@
+#include "opt/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace meshopt {
+namespace {
+
+TEST(Simplex, SimpleTwoVariableMax) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {3, 2};
+  lp.add_constraint({1, 1}, Relation::kLe, 4);
+  lp.add_constraint({1, 3}, Relation::kLe, 6);
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 12.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-7);
+}
+
+TEST(Simplex, ClassicProductMix) {
+  // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 -> x=3, y=1.5, obj=21.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {5, 4};
+  lp.add_constraint({6, 4}, Relation::kLe, 24);
+  lp.add_constraint({1, 2}, Relation::kLe, 6);
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 21.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 1.5, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // max x + y s.t. x + y = 5, x <= 3 -> obj = 5.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.add_constraint({1, 1}, Relation::kEq, 5);
+  lp.add_constraint({1, 0}, Relation::kLe, 3);
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-7);
+  EXPECT_NEAR(sol.x[0] + sol.x[1], 5.0, 1e-7);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // min x + 2y s.t. x + y >= 3, y >= 1  (as max of negative).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1, -2};
+  lp.add_constraint({1, 1}, Relation::kGe, 3);
+  lp.add_constraint({0, 1}, Relation::kGe, 1);
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  // Optimum: y=1, x=2, cost 4.
+  EXPECT_NEAR(sol.objective, -4.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1};
+  lp.add_constraint({1}, Relation::kLe, 1);
+  lp.add_constraint({1}, Relation::kGe, 2);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 0};
+  lp.add_constraint({0, 1}, Relation::kLe, 1);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x - y <= -1 with x,y >= 0: y >= x + 1. max x + y bounded by y <= 5.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.add_constraint({1, -1}, Relation::kLe, -1);
+  lp.add_constraint({0, 1}, Relation::kLe, 5);
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 9.0, 1e-7);  // x=4, y=5
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.add_constraint({1, 0}, Relation::kLe, 1);
+  lp.add_constraint({0, 1}, Relation::kLe, 1);
+  lp.add_constraint({1, 1}, Relation::kLe, 2);
+  lp.add_constraint({2, 2}, Relation::kLe, 4);
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-7);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 0};
+  lp.add_constraint({1, 1}, Relation::kEq, 2);
+  lp.add_constraint({2, 2}, Relation::kEq, 4);  // same plane
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-7);
+}
+
+TEST(Simplex, ZeroVariableProblem) {
+  LpProblem lp;
+  lp.num_vars = 0;
+  const auto sol = solve_lp(lp);
+  EXPECT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_EQ(sol.objective, 0.0);
+}
+
+TEST(Simplex, SimplexConstraintProjection) {
+  // max c.x over the probability simplex picks the best coordinate.
+  LpProblem lp;
+  lp.num_vars = 4;
+  lp.objective = {0.3, 0.9, 0.1, 0.5};
+  lp.add_constraint({1, 1, 1, 1}, Relation::kEq, 1);
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.9, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-9);
+}
+
+// Property test: random bounded LPs in 2-3 vars; verify the simplex
+// solution against a fine grid search of the feasible region.
+class RandomLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLp, MatchesGridSearch) {
+  RngStream rng(static_cast<std::uint64_t>(GetParam()), "lp");
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {rng.uniform(0.1, 2.0), rng.uniform(0.1, 2.0)};
+  // Box plus two random cutting planes (always feasible at origin).
+  lp.add_constraint({1, 0}, Relation::kLe, 10);
+  lp.add_constraint({0, 1}, Relation::kLe, 10);
+  lp.add_constraint({rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0)},
+                    Relation::kLe, rng.uniform(2.0, 12.0));
+  lp.add_constraint({rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0)},
+                    Relation::kLe, rng.uniform(2.0, 12.0));
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+
+  double best = 0.0;
+  const int grid = 400;
+  for (int i = 0; i <= grid; ++i) {
+    for (int j = 0; j <= grid; ++j) {
+      const double x = 10.0 * i / grid;
+      const double y = 10.0 * j / grid;
+      bool ok = true;
+      for (const auto& c : lp.constraints) {
+        if (c.coeffs[0] * x + c.coeffs[1] * y > c.rhs + 1e-9) ok = false;
+      }
+      if (ok) best = std::max(best, lp.objective[0] * x + lp.objective[1] * y);
+    }
+  }
+  EXPECT_GE(sol.objective, best - 0.05);
+  EXPECT_LE(sol.objective, best + 0.2);  // grid undershoots the optimum
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLp, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace meshopt

@@ -1,0 +1,135 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace meshopt {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(millis(30), [&] { order.push_back(3); });
+  sim.schedule(millis(10), [&] { order.push_back(1); });
+  sim.schedule(millis(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), millis(30));
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule(millis(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelIsIdempotent) {
+  Simulator sim;
+  const EventId id = sim.schedule(millis(1), [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(kNoEvent));
+  sim.run();
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  const EventId id = sim.schedule(millis(1), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(millis(10), [&] { ++count; });
+  sim.schedule(millis(30), [&] { ++count; });
+  sim.run_until(millis(20));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), millis(20));
+  sim.run_until(millis(40));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule(micros(1), chain);
+  };
+  sim.schedule(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), micros(99));
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule(millis(5), [&] {
+    bool ran = false;
+    sim.schedule(-millis(1), [&] { ran = true; });
+    sim.run_until(sim.now());
+    EXPECT_TRUE(ran);
+  });
+  sim.run();
+}
+
+TEST(Simulator, StopHaltsProcessing) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(millis(1), [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule(millis(2), [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  RngStream rng(42, "stress");
+  TimeNs last = -1;
+  bool monotonic = true;
+  for (int i = 0; i < 5000; ++i) {
+    sim.schedule(micros(rng.uniform_int(0, 100000)), [&] {
+      if (sim.now() < last) monotonic = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(sim.executed_events(), 5000u);
+}
+
+TEST(TimeConversions, RoundTrip) {
+  EXPECT_EQ(seconds(1.0), kNanosPerSec);
+  EXPECT_EQ(millis(1.0), kNanosPerMilli);
+  EXPECT_EQ(micros(1.0), kNanosPerMicro);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.5)), 2.5);
+}
+
+}  // namespace
+}  // namespace meshopt

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/mathfit.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace meshopt {
+namespace {
+
+TEST(OnlineStatsTest, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(CdfTest, QuantilesAndFractions) {
+  Cdf c({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(c.fraction_below(3.0), 0.6);  // <= 3
+  EXPECT_DOUBLE_EQ(c.fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.fraction_below(10.0), 1.0);
+}
+
+TEST(CdfTest, IncrementalAddKeepsOrder) {
+  Cdf c;
+  c.add(5.0);
+  c.add(1.0);
+  c.add(3.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.5), 3.0);
+  c.add(0.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 0.0);
+}
+
+TEST(CdfTest, EmptyQuantileThrows) {
+  Cdf c;
+  EXPECT_THROW(c.quantile(0.5), std::domain_error);
+}
+
+TEST(CdfTest, CurveIsMonotone) {
+  RngStream rng(3, "cdf");
+  Cdf c;
+  for (int i = 0; i < 200; ++i) c.add(rng.normal(0.0, 1.0));
+  double prev = -1.0;
+  for (const auto& [x, f] : c.curve(15)) {
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(RmseTest, KnownValues) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(a, b), 0.0);
+  const std::vector<double> c{2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(a, c), 1.0);
+  EXPECT_THROW(rmse(a, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(JainTest, BoundsAndKnownCases) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index(std::vector<double>{5, 5, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index(std::vector<double>{1, 0, 0, 0}),
+                   0.25);
+  EXPECT_DOUBLE_EQ(jain_fairness_index(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index(std::vector<double>{0, 0}), 1.0);
+  // Scale invariance.
+  const std::vector<double> x{1, 2, 3};
+  std::vector<double> y{10, 20, 30};
+  EXPECT_NEAR(jain_fairness_index(x), jain_fairness_index(y), 1e-12);
+}
+
+TEST(LogFitTest, ExactRecovery) {
+  // y = 2.5 ln w - 1.
+  std::vector<double> w, y;
+  for (double v : {1.0, 2.0, 5.0, 10.0, 50.0, 100.0}) {
+    w.push_back(v);
+    y.push_back(2.5 * std::log(v) - 1.0);
+  }
+  const LogFit fit = fit_log_curve(w, y);
+  EXPECT_NEAR(fit.a, 2.5, 1e-9);
+  EXPECT_NEAR(fit.b, -1.0, 1e-9);
+  EXPECT_NEAR(fit.eval(20.0), 2.5 * std::log(20.0) - 1.0, 1e-9);
+}
+
+TEST(LogFitTest, RejectsBadInput) {
+  EXPECT_THROW(fit_log_curve(std::vector<double>{1.0},
+                             std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fit_log_curve(std::vector<double>{1.0, -1.0},
+                             std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(MaxCurvatureTest, AnalyticLocation) {
+  // kappa max of a*ln(w)+b at w = |a|/sqrt(2).
+  const LogFit fit{4.0, 0.0};
+  EXPECT_NEAR(max_curvature_point(fit, 0.1, 100.0), 4.0 / std::sqrt(2.0),
+              1e-9);
+  // Clamping.
+  EXPECT_DOUBLE_EQ(max_curvature_point(fit, 5.0, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(max_curvature_point(fit, 0.1, 1.0), 1.0);
+  // Flat curve returns the lower bound.
+  EXPECT_DOUBLE_EQ(max_curvature_point(LogFit{0.0, 1.0}, 2.0, 9.0), 2.0);
+}
+
+TEST(PolygonAreaTest, KnownShapes) {
+  const Point2 tri[] = {{0, 0}, {1, 0}, {0, 1}};
+  EXPECT_DOUBLE_EQ(polygon_area(tri), 0.5);
+  const Point2 rect[] = {{0, 0}, {2, 0}, {2, 3}, {0, 3}};
+  EXPECT_DOUBLE_EQ(polygon_area(rect), 6.0);
+  // Orientation independence.
+  const Point2 rect_cw[] = {{0, 0}, {0, 3}, {2, 3}, {2, 0}};
+  EXPECT_DOUBLE_EQ(polygon_area(rect_cw), 6.0);
+  const Point2 degenerate[] = {{0, 0}, {1, 1}};
+  EXPECT_DOUBLE_EQ(polygon_area(degenerate), 0.0);
+}
+
+TEST(RngTest, DeterministicStreams) {
+  RngStream a(7, "alpha");
+  RngStream b(7, "alpha");
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  RngStream c(7, "beta");
+  RngStream d(8, "alpha");
+  EXPECT_NE(RngStream(7, "alpha").next_u64(), c.next_u64());
+  EXPECT_NE(RngStream(7, "alpha").next_u64(), d.next_u64());
+}
+
+TEST(RngTest, UniformIntBounds) {
+  RngStream r(11, "ints");
+  for (int i = 0; i < 1000; ++i) {
+    const int v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  RngStream r(13, "bern");
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+  EXPECT_FALSE(r.bernoulli(-1.0));
+  int heads = 0;
+  for (int i = 0; i < 4000; ++i) heads += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 4000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  RngStream r(17, "exp");
+  double acc = 0.0;
+  for (int i = 0; i < 5000; ++i) acc += r.exponential(2.0);
+  EXPECT_NEAR(acc / 5000.0, 2.0, 0.12);
+}
+
+}  // namespace
+}  // namespace meshopt

@@ -1,0 +1,155 @@
+#include "transport/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mac/airtime.h"
+#include "scenario/workbench.h"
+
+namespace meshopt {
+namespace {
+
+TEST(Tcp, SingleHopFillsTheLink) {
+  Workbench wb(51);
+  wb.add_nodes(2);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -55.0);
+  wb.net().set_path_routes({0, 1}, Rate::kR11Mbps);
+
+  TcpFlow tcp(wb.net(), 0, 1, TcpParams{}, RngStream(51, "tcp"));
+  tcp.start();
+  wb.run_for(5.0);
+  tcp.reset_goodput();
+  wb.run_for(10.0);
+  const double goodput = tcp.goodput_bps(10.0);
+  const double nominal =
+      nominal_throughput_bps(MacTimings{}, 1460, Rate::kR11Mbps);
+  // TCP pays for reverse-direction ACK airtime; expect 50-95% of UDP max.
+  EXPECT_GT(goodput, 0.5 * nominal);
+  EXPECT_LT(goodput, nominal);
+}
+
+TEST(Tcp, TwoHopDeliversInOrder) {
+  Workbench wb(53);
+  wb.add_nodes(3);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -55.0);
+  wb.channel().set_rss_symmetric_dbm(1, 2, -55.0);
+  wb.channel().set_rss_symmetric_dbm(0, 2, -120.0);
+  wb.net().set_path_routes({0, 1, 2}, Rate::kR1Mbps);
+
+  TcpFlow tcp(wb.net(), 0, 2, TcpParams{}, RngStream(53, "tcp"));
+  tcp.start();
+  wb.run_for(20.0);
+  // Self-interference across the two hops halves capacity, and — exactly
+  // the pathology the paper targets — the hidden src/dst pair collide
+  // data against reverse-path ACKs at the relay, costing well beyond the
+  // 1/2 relaying factor.
+  const double nominal =
+      nominal_throughput_bps(MacTimings{}, 1460, Rate::kR1Mbps);
+  const double goodput = tcp.goodput_bps(20.0);
+  EXPECT_GT(goodput, 0.05 * nominal);
+  EXPECT_LT(goodput, 0.65 * nominal);
+}
+
+TEST(Tcp, RateLimitCapsGoodput) {
+  Workbench wb(57);
+  wb.add_nodes(2);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -55.0);
+  wb.net().set_path_routes({0, 1}, Rate::kR11Mbps);
+
+  TcpFlow tcp(wb.net(), 0, 1, TcpParams{}, RngStream(57, "tcp"));
+  tcp.set_rate_limit_bps(1e6);
+  tcp.start();
+  wb.run_for(3.0);
+  tcp.reset_goodput();
+  wb.run_for(10.0);
+  EXPECT_NEAR(tcp.goodput_bps(10.0), 1e6, 0.12e6);
+}
+
+TEST(Tcp, RateLimitAdjustableAtRuntime) {
+  Workbench wb(59);
+  wb.add_nodes(2);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -55.0);
+  wb.net().set_path_routes({0, 1}, Rate::kR11Mbps);
+
+  TcpFlow tcp(wb.net(), 0, 1, TcpParams{}, RngStream(59, "tcp"));
+  tcp.set_rate_limit_bps(0.5e6);
+  tcp.start();
+  wb.run_for(5.0);
+  tcp.reset_goodput();
+  wb.run_for(5.0);
+  const double slow = tcp.goodput_bps(5.0);
+  tcp.set_rate_limit_bps(2e6);
+  wb.run_for(2.0);
+  tcp.reset_goodput();
+  wb.run_for(5.0);
+  const double fast = tcp.goodput_bps(5.0);
+  EXPECT_NEAR(slow, 0.5e6, 0.1e6);
+  EXPECT_NEAR(fast, 2e6, 0.4e6);
+}
+
+TEST(Tcp, RecoversFromLossyChannel) {
+  Workbench wb(61);
+  wb.add_nodes(2);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -55.0);
+  auto errors = std::make_shared<TableErrorModel>();
+  errors->set(0, 1, Rate::kR11Mbps, 0.2);
+  wb.channel().set_error_model(std::move(errors));
+  wb.net().set_path_routes({0, 1}, Rate::kR11Mbps);
+
+  TcpFlow tcp(wb.net(), 0, 1, TcpParams{}, RngStream(61, "tcp"));
+  tcp.start();
+  wb.run_for(15.0);
+  // MAC retries mask most channel loss; TCP should still move data.
+  EXPECT_GT(tcp.goodput_bps(15.0), 1e6);
+}
+
+TEST(Tcp, StarvationInGatewayTopology) {
+  // The Fig. 13 setup: flow A is 2-hop (0->1->2), flow B is 1-hop (3->2),
+  // A's source is hidden from B's source. Without rate control the 1-hop
+  // flow should dominate.
+  Workbench wb(63);
+  wb.add_nodes(4);
+  Channel& ch = wb.channel();
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = 0; b < 4; ++b)
+      if (a != b) ch.set_rss_dbm(a, b, -120.0);
+  ch.set_rss_symmetric_dbm(0, 1, -58.0);  // far node -> relay
+  ch.set_rss_symmetric_dbm(1, 2, -58.0);  // relay -> gateway
+  ch.set_rss_symmetric_dbm(3, 2, -56.0);  // near node -> gateway
+  ch.set_rss_symmetric_dbm(1, 3, -70.0);  // relay and near node sense
+  // 0 and 3 hidden from each other; 0's packets reach 2 only via 1.
+  wb.net().set_path_routes({0, 1, 2}, Rate::kR1Mbps);
+  wb.net().set_path_routes({3, 2}, Rate::kR1Mbps);
+
+  TcpFlow two_hop(wb.net(), 0, 2, TcpParams{}, RngStream(63, "t2"));
+  TcpFlow one_hop(wb.net(), 3, 2, TcpParams{}, RngStream(63, "t1"));
+  two_hop.start();
+  one_hop.start();
+  wb.run_for(10.0);
+  two_hop.reset_goodput();
+  one_hop.reset_goodput();
+  wb.run_for(30.0);
+  const double far = two_hop.goodput_bps(30.0);
+  const double near = one_hop.goodput_bps(30.0);
+  EXPECT_GT(near, 3.0 * std::max(far, 1.0))
+      << "near=" << near << " far=" << far;
+}
+
+TEST(Tcp, CongestionStatsExposed) {
+  Workbench wb(67);
+  wb.add_nodes(2);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -55.0);
+  auto errors = std::make_shared<TableErrorModel>();
+  errors->set(0, 1, Rate::kR1Mbps, 0.55);  // heavy: force drops/timeouts
+  wb.channel().set_error_model(std::move(errors));
+  wb.net().set_path_routes({0, 1}, Rate::kR1Mbps);
+  TcpFlow tcp(wb.net(), 0, 1, TcpParams{}, RngStream(67, "tcp"));
+  tcp.start();
+  wb.run_for(30.0);
+  EXPECT_GT(tcp.timeouts() + tcp.fast_retransmits(), 0u);
+  EXPECT_GT(tcp.goodput_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace meshopt

@@ -1,0 +1,121 @@
+#include "scenario/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "estimation/lir.h"
+
+namespace meshopt {
+namespace {
+
+TEST(Testbed, BuildsRequestedNodeCount) {
+  Workbench wb(1);
+  Testbed tb(wb, TestbedConfig{.seed = 1});
+  EXPECT_EQ(wb.net().node_count(), 18);
+  EXPECT_EQ(tb.positions().size(), 18u);
+}
+
+TEST(Testbed, DeterministicPerSeed) {
+  Workbench wa(1), wc(1);
+  Testbed ta(wa, TestbedConfig{.seed = 5});
+  Testbed tc(wc, TestbedConfig{.seed = 5});
+  for (int i = 0; i < 18; ++i) {
+    EXPECT_DOUBLE_EQ(ta.positions()[std::size_t(i)].x,
+                     tc.positions()[std::size_t(i)].x);
+  }
+  EXPECT_DOUBLE_EQ(wa.channel().rss_dbm(0, 7), wc.channel().rss_dbm(0, 7));
+}
+
+TEST(Testbed, DifferentSeedsDiffer) {
+  Workbench wa(1), wc(1);
+  Testbed ta(wa, TestbedConfig{.seed = 5});
+  Testbed tc(wc, TestbedConfig{.seed = 6});
+  EXPECT_NE(wa.channel().rss_dbm(0, 7), wc.channel().rss_dbm(0, 7));
+}
+
+TEST(Testbed, RssSymmetric) {
+  Workbench wb(1);
+  Testbed tb(wb, TestbedConfig{.seed = 2});
+  for (NodeId a = 0; a < 18; ++a)
+    for (NodeId b = a + 1; b < 18; ++b)
+      EXPECT_DOUBLE_EQ(wb.channel().rss_dbm(a, b),
+                       wb.channel().rss_dbm(b, a));
+}
+
+TEST(Testbed, HasUsableLinksAtBothRates) {
+  Workbench wb(1);
+  Testbed tb(wb, TestbedConfig{.seed = 3});
+  const auto l1 = tb.usable_links(Rate::kR1Mbps);
+  const auto l11 = tb.usable_links(Rate::kR11Mbps);
+  EXPECT_GT(l1.size(), 20u);
+  // 11 Mb/s needs more SNR: strictly fewer usable links.
+  EXPECT_LT(l11.size(), l1.size());
+  EXPECT_GT(l11.size(), 5u);
+}
+
+TEST(Testbed, IntraClusterLinksAreStrong) {
+  Workbench wb(1);
+  Testbed tb(wb, TestbedConfig{.seed = 4});
+  // Nodes 0 and 4 share cluster 0 (i % 4); mostly strong RSS.
+  int strong = 0, total = 0;
+  for (NodeId a = 0; a < 18; ++a) {
+    for (NodeId b = a + 1; b < 18; ++b) {
+      if (tb.cluster_of(a) == tb.cluster_of(b)) {
+        ++total;
+        if (wb.channel().rss_dbm(a, b) > -80.0) ++strong;
+      }
+    }
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(strong) / total, 0.7);
+}
+
+TEST(Testbed, ConnectedEnoughForMultiHop) {
+  Workbench wb(1);
+  Testbed tb(wb, TestbedConfig{.seed = 1});
+  // Union-find over the neighbor relation: expect one component holding
+  // most nodes.
+  std::vector<int> parent(18);
+  for (int i = 0; i < 18; ++i) parent[std::size_t(i)] = i;
+  std::function<int(int)> find = [&](int x) {
+    return parent[std::size_t(x)] == x
+               ? x
+               : parent[std::size_t(x)] = find(parent[std::size_t(x)]);
+  };
+  for (NodeId a = 0; a < 18; ++a)
+    for (NodeId b = a + 1; b < 18; ++b)
+      if (tb.neighbors(a, b)) parent[std::size_t(find(a))] = find(b);
+  std::map<int, int> comp;
+  for (int i = 0; i < 18; ++i) ++comp[find(i)];
+  int biggest = 0;
+  for (auto& [_, c] : comp) biggest = std::max(biggest, c);
+  EXPECT_GE(biggest, 14);
+}
+
+TEST(Testbed, LirDiversityAcrossPairs) {
+  // A handful of link pairs must show both interfering and non-interfering
+  // behavior — the raw material of the paper's Fig. 3.
+  Workbench wb(9);
+  Testbed tb(wb, TestbedConfig{.seed = 9});
+  auto links = tb.usable_links(Rate::kR11Mbps);
+  ASSERT_GE(links.size(), 6u);
+  int low = 0, high = 0, tested = 0;
+  for (std::size_t i = 0; i + 1 < links.size() && tested < 6; i += 2) {
+    const LinkRef a = links[i];
+    const LinkRef b = links[i + 1];
+    // Need four distinct nodes.
+    std::set<NodeId> ids{a.src, a.dst, b.src, b.dst};
+    if (ids.size() != 4) continue;
+    const LirMeasurement m = measure_lir(wb, a, b, 3.0);
+    if (m.c11 < 1e5 || m.c22 < 1e5) continue;  // skip dead links
+    ++tested;
+    if (m.lir() < 0.8) ++low;
+    if (m.lir() > 0.9) ++high;
+  }
+  EXPECT_GT(tested, 2);
+  EXPECT_GT(low + high, 0);
+}
+
+}  // namespace
+}  // namespace meshopt
