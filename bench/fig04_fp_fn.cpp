@@ -14,6 +14,7 @@
 #include "estimation/lir.h"
 #include "scenario/topologies.h"
 #include "scenario/workbench.h"
+#include "sweep/sweep_runner.h"
 #include "util/stats.h"
 
 using namespace meshopt;
@@ -106,12 +107,33 @@ int main() {
 
   std::printf("\n%-6s %10s %10s %10s | %10s %10s %10s\n", "class", "FP mean",
               "FP min", "FP max", "FN mean", "FN min", "FN max");
-  for (TopologyClass cls :
-       {TopologyClass::kCS, TopologyClass::kIA, TopologyClass::kNF}) {
+  const std::vector<TopologyClass> classes = {
+      TopologyClass::kCS, TopologyClass::kIA, TopologyClass::kNF};
+
+  // Every (class, config) cell builds its own Workbench, so the whole
+  // grid sweeps in parallel; per-cell results are merged in job order
+  // below, keeping the printed statistics identical to the sequential
+  // nested loop this replaces.
+  SweepRunner runner;
+  const int ncfg = static_cast<int>(configs.size());
+  const auto cells = runner.run(
+      static_cast<int>(classes.size()) * ncfg, /*master_seed=*/4,
+      [&](const SweepJob& job) {
+        const TopologyClass cls = classes[std::size_t(job.index / ncfg)];
+        const PairConfig& pc = configs[std::size_t(job.index % ncfg)];
+        // Same per-cell seeds as the old sequential loop (100, 101, ...).
+        ClassResult res;
+        evaluate_pair(cls, pc, 100 + std::uint64_t(job.index % ncfg), res);
+        return res;
+      });
+
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const TopologyClass cls = classes[c];
     ClassResult res;
-    std::uint64_t seed = 100;
-    for (const PairConfig& pc : configs) {
-      evaluate_pair(cls, pc, seed++, res);
+    for (int k = 0; k < ncfg; ++k) {
+      const ClassResult& cell = cells[c * std::size_t(ncfg) + std::size_t(k)];
+      res.fp.merge(cell.fp);
+      res.fn.merge(cell.fn);
     }
     std::printf("%-6s %10.3f %10.3f %10.3f | %10.3f %10.3f %10.3f\n",
                 topology_name(cls), res.fp.mean(),

@@ -14,6 +14,8 @@
 #include "model/conflict_graph.h"
 #include "model/feasibility.h"
 #include "opt/network_optimizer.h"
+#include "phy/channel.h"
+#include "sim/simulator.h"
 #include "util/rng.h"
 
 namespace meshopt {
@@ -39,7 +41,93 @@ void BM_MaximalIndependentSets(benchmark::State& state) {
   }
   state.counters["sets"] = static_cast<double>(sets);
 }
-BENCHMARK(BM_MaximalIndependentSets)->Arg(12)->Arg(24)->Arg(40);
+BENCHMARK(BM_MaximalIndependentSets)->Arg(12)->Arg(24)->Arg(40)->Arg(80);
+
+// ------------------------------------------------------------------ core
+// Event-core throughput: a pool of pending timers with schedule/fire churn,
+// the shape of a busy MAC (backoff timers, frame-end events, probe timers).
+
+void BM_EventThroughput(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  std::uint64_t fired = 0;
+  RngStream rng(48, "bench-ev");
+  std::vector<TimeNs> when(static_cast<std::size_t>(events));
+  for (auto& t : when) t = micros(rng.uniform(0.0, 1e6));
+  Simulator sim;  // steady state: the event store persists across rounds
+  for (auto _ : state) {
+    const TimeNs base = sim.now();
+    for (TimeNs t : when) {
+      sim.schedule_at(base + t, [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventThroughput)->Arg(1000)->Arg(10000);
+
+// Cancel-heavy churn: every scheduled event is cancelled and replaced once
+// before firing — the DCF backoff-freeze / ACK-timeout pattern.
+void BM_EventCancelChurn(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  std::uint64_t fired = 0;
+  RngStream rng(49, "bench-cancel");
+  std::vector<TimeNs> when(static_cast<std::size_t>(events));
+  for (auto& t : when) t = micros(rng.uniform(0.0, 1e6));
+  std::vector<EventId> ids(static_cast<std::size_t>(events));
+  Simulator sim;
+  for (auto _ : state) {
+    const TimeNs base = sim.now();
+    for (std::size_t i = 0; i < when.size(); ++i) {
+      ids[i] = sim.schedule_at(base + when[i], [&fired] { ++fired; });
+    }
+    for (std::size_t i = 0; i < when.size(); ++i) {
+      sim.cancel(ids[i]);
+      ids[i] = sim.schedule_at(base + when[i] + micros(5), [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * events * 2);
+}
+BENCHMARK(BM_EventCancelChurn)->Arg(1000)->Arg(10000);
+
+// Channel dispatch: frames on a sparse mesh (ring, each node hears its 4
+// neighbors a side). Measures start_tx/end_tx fan-out cost as node count
+// grows while the true neighborhood stays constant.
+void BM_ChannelDispatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Simulator sim;
+  PhyParams phy;
+  phy.fading_sigma_db = 0.0;  // isolate dispatch cost from RNG draws
+  Channel ch(sim, phy, RngStream(50, "bench-ch"));
+  for (int i = 0; i < n; ++i) ch.add_node(nullptr);
+  for (int i = 0; i < n; ++i) {
+    for (int d = 1; d <= 4; ++d) {
+      ch.set_rss_dbm(i, (i + d) % n, -60.0 - 3.0 * d);
+      ch.set_rss_dbm(i, (i + n - d) % n, -60.0 - 3.0 * d);
+    }
+  }
+  Frame f;
+  f.dst = kBroadcast;
+  f.rate = Rate::kR1Mbps;
+  f.air_bytes = 1500;
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    // 8 spaced-out transmitters per round, 125 rounds.
+    for (int round = 0; round < 125; ++round) {
+      for (int k = 0; k < 8; ++k) {
+        const NodeId tx = static_cast<NodeId>((k * (n / 8) + round) % n);
+        ch.start_tx(tx, f, micros(100));
+        sim.run_until(sim.now() + micros(150));
+        ++frames;
+      }
+    }
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+}
+BENCHMARK(BM_ChannelDispatch)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_ExtremePoints(benchmark::State& state) {
   const int links = static_cast<int>(state.range(0));

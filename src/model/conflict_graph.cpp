@@ -1,100 +1,158 @@
 #include "model/conflict_graph.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace meshopt {
 
+namespace {
+[[nodiscard]] constexpr int words_for(int n) { return (n + 63) / 64; }
+}  // namespace
+
 ConflictGraph::ConflictGraph(int num_links)
     : n_(num_links),
-      adj_(static_cast<std::size_t>(num_links),
-           std::vector<char>(static_cast<std::size_t>(num_links), 0)) {}
+      words_(words_for(num_links)),
+      adj_(static_cast<std::size_t>(num_links) *
+               static_cast<std::size_t>(words_for(num_links)),
+           0) {}
 
 void ConflictGraph::add_conflict(int a, int b) {
   if (a == b) return;
-  adj_.at(static_cast<std::size_t>(a)).at(static_cast<std::size_t>(b)) = 1;
-  adj_.at(static_cast<std::size_t>(b)).at(static_cast<std::size_t>(a)) = 1;
+  if (a < 0 || a >= n_ || b < 0 || b >= n_)
+    throw std::out_of_range("ConflictGraph::add_conflict");
+  auto* ra = adj_.data() + static_cast<std::size_t>(a) * std::size_t(words_);
+  auto* rb = adj_.data() + static_cast<std::size_t>(b) * std::size_t(words_);
+  ra[b >> 6] |= std::uint64_t{1} << (b & 63);
+  rb[a >> 6] |= std::uint64_t{1} << (a & 63);
 }
 
 bool ConflictGraph::conflicts(int a, int b) const {
-  return adj_.at(static_cast<std::size_t>(a))
-             .at(static_cast<std::size_t>(b)) != 0;
+  if (a < 0 || a >= n_ || b < 0 || b >= n_)
+    throw std::out_of_range("ConflictGraph::conflicts");
+  return (row(a)[b >> 6] >> (b & 63)) & 1;
 }
 
 int ConflictGraph::edge_count() const {
   int count = 0;
-  for (int i = 0; i < n_; ++i)
-    for (int j = i + 1; j < n_; ++j)
-      if (adj_[std::size_t(i)][std::size_t(j)]) ++count;
-  return count;
+  for (const std::uint64_t w : adj_) count += std::popcount(w);
+  return count / 2;  // each edge is stored in both rows
 }
 
 namespace {
 
 /// Bron–Kerbosch with pivoting over the *complement* adjacency: cliques of
-/// the complement are independent sets of the conflict graph.
-class BronKerbosch {
+/// the complement are independent sets of the conflict graph. P, X and the
+/// candidate sets live in flat per-depth bitset buffers preallocated up
+/// front, so a recursion level is word-parallel ANDs into its own rows —
+/// no vector copies, no allocation.
+class BitsetBronKerbosch {
  public:
-  BronKerbosch(const std::vector<std::vector<char>>& conflict_adj,
-               std::size_t cap)
-      : adj_(conflict_adj), n_(static_cast<int>(conflict_adj.size())),
-        cap_(cap) {}
+  BitsetBronKerbosch(const ConflictGraph& g, std::size_t cap)
+      : n_(g.size()), words_(g.row_words()), cap_(cap) {
+    // Complement rows, diagonal off: comp_[v] bit w = "v and w can be in
+    // the same independent set".
+    comp_.assign(static_cast<std::size_t>(n_) * std::size_t(words_), 0);
+    const std::uint64_t tail_mask =
+        (n_ % 64 == 0) ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << (n_ % 64)) - 1);
+    for (int v = 0; v < n_; ++v) {
+      std::uint64_t* cr = comp_.data() + std::size_t(v) * std::size_t(words_);
+      const std::uint64_t* ar = g.row(v);
+      for (int w = 0; w < words_; ++w) cr[w] = ~ar[w];
+      cr[words_ - 1] &= tail_mask;
+      cr[v >> 6] &= ~(std::uint64_t{1} << (v & 63));
+    }
+    // Depth d of the recursion owns rows d of p_, x_ and cand_.
+    const std::size_t depth_rows =
+        static_cast<std::size_t>(n_ + 1) * std::size_t(words_);
+    p_.assign(depth_rows, 0);
+    x_.assign(depth_rows, 0);
+    cand_.assign(depth_rows, 0);
+    r_.reserve(static_cast<std::size_t>(n_));
+  }
 
   [[nodiscard]] std::vector<std::vector<int>> run() {
-    std::vector<int> r, p, x;
-    p.reserve(static_cast<std::size_t>(n_));
-    for (int v = 0; v < n_; ++v) p.push_back(v);
-    expand(r, p, x);
+    if (n_ == 0) return {};
+    std::uint64_t* p0 = p_.data();
+    for (int v = 0; v < n_; ++v) p0[v >> 6] |= std::uint64_t{1} << (v & 63);
+    expand(0);
     return std::move(out_);
   }
 
  private:
-  /// Complement-graph adjacency: independent in the conflict graph.
-  [[nodiscard]] bool compatible(int a, int b) const {
-    return a != b && adj_[std::size_t(a)][std::size_t(b)] == 0;
+  [[nodiscard]] const std::uint64_t* comp_row(int v) const {
+    return comp_.data() + static_cast<std::size_t>(v) * std::size_t(words_);
   }
 
-  void expand(std::vector<int>& r, std::vector<int> p, std::vector<int> x) {
+  [[nodiscard]] static bool empty_row(const std::uint64_t* r, int words) {
+    for (int w = 0; w < words; ++w)
+      if (r[w] != 0) return false;
+    return true;
+  }
+
+  void expand(int depth) {
     if (out_.size() >= cap_) return;
-    if (p.empty() && x.empty()) {
-      out_.push_back(r);
+    std::uint64_t* p = p_.data() + std::size_t(depth) * std::size_t(words_);
+    std::uint64_t* x = x_.data() + std::size_t(depth) * std::size_t(words_);
+    if (empty_row(p, words_) && empty_row(x, words_)) {
+      out_.push_back(r_);
       return;
     }
-    // Pivot: vertex of P ∪ X with most complement-neighbors in P.
+
+    // Pivot: vertex of P ∪ X with the most complement-neighbors in P.
     int pivot = -1, best = -1;
-    for (const auto& set : {p, x}) {
-      for (int u : set) {
+    for (int w = 0; w < words_; ++w) {
+      std::uint64_t both = p[w] | x[w];
+      while (both != 0) {
+        const int u = w * 64 + std::countr_zero(both);
+        both &= both - 1;
+        const std::uint64_t* cu = comp_row(u);
         int deg = 0;
-        for (int v : p)
-          if (compatible(u, v)) ++deg;
+        for (int k = 0; k < words_; ++k)
+          deg += std::popcount(p[k] & cu[k]);
         if (deg > best) {
           best = deg;
           pivot = u;
         }
       }
     }
-    std::vector<int> candidates;
-    for (int v : p)
-      if (pivot < 0 || !compatible(pivot, v)) candidates.push_back(v);
 
-    for (int v : candidates) {
-      std::vector<int> p2, x2;
-      for (int w : p)
-        if (compatible(v, w)) p2.push_back(w);
-      for (int w : x)
-        if (compatible(v, w)) x2.push_back(w);
-      r.push_back(v);
-      expand(r, std::move(p2), std::move(x2));
-      r.pop_back();
-      p.erase(std::find(p.begin(), p.end(), v));
-      x.push_back(v);
-      if (out_.size() >= cap_) return;
+    // Candidates: P minus the pivot's complement-neighborhood.
+    std::uint64_t* cand =
+        cand_.data() + std::size_t(depth) * std::size_t(words_);
+    const std::uint64_t* cp = comp_row(pivot);
+    for (int w = 0; w < words_; ++w) cand[w] = p[w] & ~cp[w];
+
+    std::uint64_t* cp_next =
+        p_.data() + std::size_t(depth + 1) * std::size_t(words_);
+    std::uint64_t* cx_next =
+        x_.data() + std::size_t(depth + 1) * std::size_t(words_);
+    for (int w = 0; w < words_; ++w) {
+      while (cand[w] != 0) {
+        const int v = w * 64 + std::countr_zero(cand[w]);
+        cand[w] &= cand[w] - 1;
+        const std::uint64_t* cv = comp_row(v);
+        for (int k = 0; k < words_; ++k) {
+          cp_next[k] = p[k] & cv[k];
+          cx_next[k] = x[k] & cv[k];
+        }
+        r_.push_back(v);
+        expand(depth + 1);
+        r_.pop_back();
+        p[w] &= ~(std::uint64_t{1} << (v & 63));
+        x[w] |= std::uint64_t{1} << (v & 63);
+        if (out_.size() >= cap_) return;
+      }
     }
   }
 
-  const std::vector<std::vector<char>>& adj_;
   int n_;
+  int words_;
   std::size_t cap_;
+  std::vector<std::uint64_t> comp_;
+  std::vector<std::uint64_t> p_, x_, cand_;
+  std::vector<int> r_;
   std::vector<std::vector<int>> out_;
 };
 
@@ -103,7 +161,7 @@ class BronKerbosch {
 std::vector<std::vector<int>> ConflictGraph::maximal_independent_sets(
     std::size_t cap) const {
   if (n_ == 0) return {};
-  BronKerbosch bk(adj_, cap);
+  BitsetBronKerbosch bk(*this, cap);
   auto sets = bk.run();
   for (auto& s : sets) std::sort(s.begin(), s.end());
   std::sort(sets.begin(), sets.end());

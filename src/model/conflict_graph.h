@@ -10,6 +10,7 @@
 //   * two-hop: an edge wherever any endpoint of one link is within one
 //     hop of an endpoint of the other (the online model, Section 5.5).
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -18,6 +19,9 @@
 
 namespace meshopt {
 
+/// Adjacency is stored as packed 64-bit bitset rows (row i, bit j set when
+/// links i and j conflict), so set operations in the enumeration are word-
+/// parallel AND/ANDNOT + popcount instead of per-vertex scans.
 class ConflictGraph {
  public:
   explicit ConflictGraph(int num_links);
@@ -30,14 +34,24 @@ class ConflictGraph {
   [[nodiscard]] int edge_count() const;
 
   /// All maximal independent sets (maximal cliques of the complement),
-  /// enumerated with Bron–Kerbosch + pivoting. `cap` bounds the output as
-  /// a safety valve; testbed-scale graphs stay far below it.
+  /// enumerated with Bron–Kerbosch + pivoting over bitset intersections.
+  /// `cap` bounds the output as a safety valve; testbed-scale graphs stay
+  /// far below it.
   [[nodiscard]] std::vector<std::vector<int>> maximal_independent_sets(
       std::size_t cap = 200000) const;
 
+  /// Number of 64-bit words per adjacency row.
+  [[nodiscard]] int row_words() const { return words_; }
+  /// Raw adjacency row (row_words() words, bit j of word j/64 = conflict).
+  [[nodiscard]] const std::uint64_t* row(int i) const {
+    return adj_.data() +
+           static_cast<std::size_t>(i) * static_cast<std::size_t>(words_);
+  }
+
  private:
   int n_;
-  std::vector<std::vector<char>> adj_;
+  int words_;
+  std::vector<std::uint64_t> adj_;  ///< n_ rows of words_ words each
 };
 
 /// Binary-LIR conflict graph from a pairwise LIR table (entry (i,j) is the

@@ -26,12 +26,27 @@ NodeId Channel::add_node(PhySap* sap) {
   nodes_.back().sap = sap;
   for (auto& row : rss_dbm_) row.push_back(kUnreachableDbm);
   rss_dbm_.emplace_back(nodes_.size(), kUnreachableDbm);
+  reach_.emplace_back();  // new node is unreachable by default
   return id;
 }
 
 void Channel::set_rss_dbm(NodeId a, NodeId b, double dbm) {
   rss_dbm_.at(static_cast<std::size_t>(a)).at(static_cast<std::size_t>(b)) =
       dbm;
+  update_reach(a, b);
+}
+
+void Channel::update_reach(NodeId a, NodeId b) {
+  if (a == b) return;
+  std::vector<NodeId>& r = reach_[static_cast<std::size_t>(a)];
+  const auto it = std::lower_bound(r.begin(), r.end(), b);
+  const bool was = it != r.end() && *it == b;
+  const bool now = rss_mw(a, b) >= hear_floor_mw_;
+  if (now && !was) {
+    r.insert(it, b);
+  } else if (!now && was) {
+    r.erase(it);
+  }
 }
 
 void Channel::set_rss_symmetric_dbm(NodeId a, NodeId b, double dbm) {
@@ -95,12 +110,14 @@ void Channel::start_tx(NodeId tx, const Frame& frame_in, TimeNs duration) {
   // A transmitting node aborts any in-progress reception (half duplex).
   txs.lock.reset();
   txs.transmitting = true;
+  txs.cur_frame = frame;
   update_busy(tx);
 
-  for (NodeId n = 0; n < node_count(); ++n) {
-    if (n == tx) continue;
+  // Snapshot the reach index (ascending node order keeps RNG draw order
+  // identical to a full scan) so end_tx undoes exactly this fan-out.
+  txs.active_rx = reach_[static_cast<std::size_t>(tx)];
+  for (NodeId n : txs.active_rx) {
     double rss = rss_mw(tx, n);
-    if (rss < hear_floor_mw_) continue;
     if (phy_.fading_sigma_db > 0.0) {
       // One lognormal fast-fading draw per frame/receiver pair.
       rss *= dbm_to_mw(rng_.normal(0.0, phy_.fading_sigma_db));
@@ -108,13 +125,13 @@ void Channel::start_tx(NodeId tx, const Frame& frame_in, TimeNs duration) {
     handle_frame_start_at(n, frame, rss);
   }
 
-  sim_.schedule(duration, [this, tx, frame] { end_tx(tx, frame); });
+  sim_.schedule(duration, [this, tx] { end_tx(tx); });
 }
 
 void Channel::handle_frame_start_at(NodeId n, const Frame& f, double rss) {
   PhyState& st = nodes_[static_cast<std::size_t>(n)];
   const double interference_before = st.energy_mw();
-  st.heard.emplace(f.id, rss);
+  st.heard.push_back(HeardFrame{f.id, rss});  // ids ascend: stays sorted
 
   if (!st.transmitting) {
     if (!st.lock.has_value()) {
@@ -165,12 +182,15 @@ void Channel::handle_frame_start_at(NodeId n, const Frame& f, double rss) {
   update_busy(n);
 }
 
-void Channel::end_tx(NodeId tx, Frame frame) {
-  for (NodeId n = 0; n < node_count(); ++n) {
-    if (n == tx) continue;
+void Channel::end_tx(NodeId tx) {
+  PhyState& txs = nodes_[static_cast<std::size_t>(tx)];
+  const Frame frame = txs.cur_frame;
+  for (NodeId n : txs.active_rx) {
     PhyState& st = nodes_[static_cast<std::size_t>(n)];
-    const auto it = st.heard.find(frame.id);
-    if (it == st.heard.end()) continue;
+    const auto it = std::lower_bound(
+        st.heard.begin(), st.heard.end(), frame.id,
+        [](const HeardFrame& h, std::uint64_t id) { return h.frame_id < id; });
+    if (it == st.heard.end() || it->frame_id != frame.id) continue;
     st.heard.erase(it);
     if (!st.transmitting && st.lock.has_value() &&
         st.lock->frame_id == frame.id) {
@@ -178,7 +198,7 @@ void Channel::end_tx(NodeId tx, Frame frame) {
     }
     update_busy(n);
   }
-  PhyState& txs = nodes_[static_cast<std::size_t>(tx)];
+  txs.active_rx.clear();
   txs.transmitting = false;
   update_busy(tx);
 }

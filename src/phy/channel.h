@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "phy/error_model.h"
@@ -85,22 +84,39 @@ class Channel {
     bool corrupted = false;
   };
 
+  /// An in-flight foreign frame heard by a node. Frame ids are handed out
+  /// monotonically, so appending keeps the per-node list sorted and lookup
+  /// is a binary search — overlapping-frame counts are small, so a flat
+  /// vector beats a hash map on both lookup and the energy sum.
+  struct HeardFrame {
+    std::uint64_t frame_id = 0;
+    double rss_mw = 0.0;
+  };
+
   struct PhyState {
     PhySap* sap = nullptr;
     bool transmitting = false;
     bool busy_reported = false;
     std::optional<RxLock> lock;
-    /// frame id -> rss (mW) of every in-flight foreign frame heard.
-    std::unordered_map<std::uint64_t, double> heard;
+    std::vector<HeardFrame> heard;  ///< sorted by frame_id
+    /// The frame this node is currently transmitting (valid while
+    /// `transmitting`). Kept here so the end-of-frame closure captures two
+    /// words instead of a whole Frame and stays inline in the event slab.
+    Frame cur_frame;
+    /// Receivers of this node's current transmission, snapshotted from the
+    /// reach index at start_tx so end_tx visits exactly the nodes that got
+    /// the frame even if RSS is edited mid-flight. Reused across frames.
+    std::vector<NodeId> active_rx;
 
     [[nodiscard]] double energy_mw() const {
       double e = 0.0;
-      for (const auto& [_, rss] : heard) e += rss;
+      for (const HeardFrame& h : heard) e += h.rss_mw;
       return e;
     }
   };
 
-  void end_tx(NodeId tx, Frame frame);
+  void end_tx(NodeId tx);
+  void update_reach(NodeId a, NodeId b);
   void update_busy(NodeId n);
   void handle_frame_start_at(NodeId n, const Frame& f, double rss_mw);
   void finalize_lock(NodeId n, const Frame& f);
@@ -113,6 +129,10 @@ class Channel {
   std::shared_ptr<const ErrorModel> error_;
   std::vector<PhyState> nodes_;
   std::vector<std::vector<double>> rss_dbm_;  // [tx][rx]
+  /// Per-transmitter neighbor index: receivers whose RSS from the node is
+  /// above the hear floor, ascending. Maintained incrementally by
+  /// set_rss_dbm so start_tx/end_tx fan out over O(degree) nodes, not O(N).
+  std::vector<std::vector<NodeId>> reach_;
   std::uint64_t next_frame_id_ = 1;
   std::uint64_t corrupted_ = 0;
   double noise_mw_ = 0.0;

@@ -1,8 +1,80 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <bit>
+#include <limits>
 #include <utility>
 
 namespace meshopt {
+
+// --------------------------------------------------------------- Calendar
+
+const Simulator::Entry& Simulator::Calendar::min() {
+  position();
+  return buckets_[cur_day_ & (buckets_.size() - 1)].back();
+}
+
+Simulator::Entry Simulator::Calendar::pop_min() {
+  position();
+  std::vector<Entry>& v = buckets_[cur_day_ & (buckets_.size() - 1)];
+  const Entry e = v.back();
+  v.pop_back();
+  --count_;
+  // No shrink on drain: empty buckets cost 24 bytes each, while re-bucketing
+  // on every drain/refill cycle (the normal shape of a simulation round)
+  // would dominate. The bucket count only ratchets up.
+  return e;
+}
+
+void Simulator::Calendar::position() {
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t steps = 0;
+  for (;;) {
+    const std::vector<Entry>& v = buckets_[cur_day_ & mask];
+    if (!v.empty() && day_of(v.back().time) == cur_day_) return;
+    ++cur_day_;
+    if (++steps > mask) {
+      // A full fruitless lap: every remaining entry lies years ahead.
+      // Jump straight to the earliest day (each bucket's back is its
+      // minimum, and all entries of one day share one bucket).
+      std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+      for (const auto& b : buckets_)
+        if (!b.empty()) best = std::min(best, day_of(b.back().time));
+      cur_day_ = best;
+      steps = 0;
+    }
+  }
+}
+
+void Simulator::Calendar::resize(std::size_t nbuckets) {
+  std::vector<std::vector<Entry>> old = std::move(buckets_);
+  // Fit the day width to the spread: aim for about one event per day so a
+  // dequeue rarely scans more than a bucket or two.
+  TimeNs lo = std::numeric_limits<TimeNs>::max();
+  TimeNs hi = std::numeric_limits<TimeNs>::min();
+  for (const auto& b : old) {
+    for (const Entry& e : b) {
+      lo = std::min(lo, e.time);
+      hi = std::max(hi, e.time);
+    }
+  }
+  if (count_ > 1 && hi > lo) {
+    const std::uint64_t gap =
+        static_cast<std::uint64_t>(hi - lo) / static_cast<std::uint64_t>(count_);
+    width_log2_ = gap > 1 ? std::bit_width(gap) : 1;
+  }
+  buckets_.assign(nbuckets, {});
+  const std::size_t n = count_;
+  count_ = 0;
+  cur_day_ = n > 0 ? day_of(lo) : 0;
+  for (auto& b : old) {
+    // Oldest-first (back-to-front) so FIFO order among equal times survives.
+    for (auto it = b.rbegin(); it != b.rend(); ++it) push(*it);
+  }
+  count_ = n;
+}
+
+// -------------------------------------------------------------- Simulator
 
 EventId Simulator::schedule(TimeNs delay, Action action) {
   if (delay < 0) delay = 0;
@@ -11,62 +83,62 @@ EventId Simulator::schedule(TimeNs delay, Action action) {
 
 EventId Simulator::schedule_at(TimeNs when, Action action) {
   if (when < now_) when = now_;
-  const EventId id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id});
-  live_.emplace(id, std::move(action));
-  return id;
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slot_ref(slot);
+  s.action = std::move(action);
+  queue_.push(Entry{when, slot, s.gen});
+  ++live_count_;
+  return encode(slot, s.gen);
 }
 
 bool Simulator::cancel(EventId id) {
   if (id == kNoEvent) return false;
-  return live_.erase(id) > 0;
-}
-
-bool Simulator::pop_next(Entry& out) {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    if (live_.contains(e.id)) {
-      out = e;
-      return true;
-    }
-    // Cancelled entry: discard lazily.
-  }
-  return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id >> 32) - 1;
+  const std::uint32_t gen = static_cast<std::uint32_t>(id);
+  if (!is_live(slot, gen)) return false;
+  release_slot(slot);
+  // The queue entry becomes stale and is discarded lazily when popped.
+  return true;
 }
 
 void Simulator::run_until(TimeNs until) {
   stopped_ = false;
-  Entry e;
   while (!stopped_ && !queue_.empty()) {
-    if (queue_.top().time > until) break;
-    if (!pop_next(e)) break;
-    if (e.time > until) {
-      // Reinsert: it was popped but lies beyond the horizon.
-      queue_.push(e);
-      break;
+    const Entry& top = queue_.min();
+    if (!is_live(top.slot, top.gen)) {
+      queue_.pop_min();  // cancelled: discard lazily
+      continue;
     }
+    if (top.time > until) break;  // live head beyond the horizon: keep it
+    const Entry e = queue_.pop_min();
     now_ = e.time;
-    auto it = live_.find(e.id);
-    Action action = std::move(it->second);
-    live_.erase(it);
-    ++executed_;
-    action();
+    fire(e.slot);
   }
   if (now_ < until && !stopped_) now_ = until;
 }
 
 void Simulator::run() {
   stopped_ = false;
-  Entry e;
-  while (!stopped_ && pop_next(e)) {
+  while (!stopped_ && !queue_.empty()) {
+    const Entry e = queue_.pop_min();
+    if (!is_live(e.slot, e.gen)) continue;
     now_ = e.time;
-    auto it = live_.find(e.id);
-    Action action = std::move(it->second);
-    live_.erase(it);
-    ++executed_;
-    action();
+    fire(e.slot);
   }
+}
+
+void Simulator::fire(std::uint32_t slot) {
+  // Invoke in place: the generation bump kills the id first (a reentrant
+  // cancel of this event is a no-op), and the slot only enters the free
+  // list afterwards, so reentrant schedules cannot reuse it mid-call.
+  // Chunk storage never moves, so the reference survives reentrant growth.
+  Slot& s = slot_ref(slot);
+  ++s.gen;
+  --live_count_;
+  ++executed_;
+  s.action();
+  s.action.reset();
+  free_slots_.push_back(slot);
 }
 
 }  // namespace meshopt

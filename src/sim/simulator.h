@@ -2,14 +2,19 @@
 // Discrete-event simulation core.
 //
 // Time is kept in integer nanoseconds so that event ordering is exact and
-// runs are reproducible. Events are closures; scheduling returns an id that
-// can be used to cancel the event before it fires (cancellation is O(1),
-// the entry is lazily discarded when popped).
+// runs are reproducible. Events are closures held in a slot-pool slab:
+// scheduling hands out a generation-stamped id (slot index + generation
+// counter packed into 64 bits), so cancellation is an O(1) generation bump
+// with no hash lookup, and firing an event is a pop + slab move with no
+// per-event node allocations. Closures up to EventAction::kInlineSize bytes
+// live inline in their slot; larger ones fall back to a single heap cell.
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace meshopt {
@@ -37,13 +42,117 @@ constexpr TimeNs kNanosPerSec = 1'000'000'000;
 using EventId = std::uint64_t;
 constexpr EventId kNoEvent = 0;
 
+/// Move-only callable with a large inline buffer, so typical simulator
+/// closures (a `this` pointer plus a Frame, a couple of ids) are stored
+/// in-place in the event slab instead of behind a heap allocation the way
+/// std::function's small-buffer optimization would force.
+class EventAction {
+ public:
+  /// Sized so a Slot (action + ops pointer + generation) fills exactly one
+  /// 64-byte cache line; every closure in the library fits (the largest,
+  /// the channel's end-of-frame event, captures two words).
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventAction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventAction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventAction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  /// Destroy the current callable (if any) and construct `f` in place.
+  template <typename F>
+  void emplace(F&& f) {
+    reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  EventAction(EventAction&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  EventAction& operator=(EventAction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, o.buf_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventAction(const EventAction&) = delete;
+  EventAction& operator=(const EventAction&) = delete;
+
+  ~EventAction() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct into dst from src, then destroy src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) {
+        Fn* s = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
 /// Single-threaded discrete-event simulator.
 ///
 /// Ties are broken by scheduling order (FIFO among same-time events), which
 /// keeps runs deterministic.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = EventAction;
 
   [[nodiscard]] TimeNs now() const { return now_; }
 
@@ -52,6 +161,29 @@ class Simulator {
 
   /// Schedule at an absolute time (clamped to now).
   EventId schedule_at(TimeNs when, Action action);
+
+  /// Callable overloads: construct the closure directly in its event slot,
+  /// skipping the type-erased moves of the Action-value path.
+  template <typename F,
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventAction>,
+                             int> = 0>
+  EventId schedule(TimeNs delay, F&& f) {
+    if (delay < 0) delay = 0;
+    return schedule_at(now_ + delay, std::forward<F>(f));
+  }
+
+  template <typename F,
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventAction>,
+                             int> = 0>
+  EventId schedule_at(TimeNs when, F&& f) {
+    if (when < now_) when = now_;
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slot_ref(slot);
+    s.action.emplace(std::forward<F>(f));
+    queue_.push(Entry{when, slot, s.gen});
+    ++live_count_;
+    return encode(slot, s.gen);
+  }
 
   /// Cancel a pending event. Safe to call with kNoEvent or an already-fired
   /// id (no-op). Returns true if the event was pending and is now cancelled.
@@ -66,29 +198,145 @@ class Simulator {
   /// Stop a run_* loop after the current event completes.
   void stop() { stopped_ = true; }
 
-  [[nodiscard]] std::size_t pending_events() const { return live_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return live_count_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Entry {
-    TimeNs time;
-    std::uint64_t seq;
-    EventId id;
-    bool operator>(const Entry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
+  struct Slot {
+    Action action;
+    std::uint32_t gen = 0;
   };
 
-  bool pop_next(Entry& out);
+  /// 16 bytes: no sequence number. FIFO among same-time events falls out
+  /// of the bucket discipline — see Calendar::push.
+  struct Entry {
+    TimeNs time;
+    std::uint32_t slot;
+    std::uint32_t gen;
+
+    [[nodiscard]] bool before(const Entry& o) const { return time < o.time; }
+  };
+
+  /// Slots live in fixed-size chunks so the slab never relocates on growth
+  /// (EventAction is not trivially movable, so a flat vector would pay an
+  /// indirect-call move per slot on every reallocation).
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  [[nodiscard]] Slot& slot_ref(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot_ref(std::uint32_t slot) const {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  [[nodiscard]] static EventId encode(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot) + 1) << 32 | gen;
+  }
+
+  /// Pop a recycled slot, or mint a new one (growing the slab by a chunk —
+  /// existing slots never move).
+  [[nodiscard]] std::uint32_t acquire_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    const std::uint32_t slot = slot_count_++;
+    if ((slot >> kChunkShift) >= chunks_.size()) {
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    }
+    return slot;
+  }
+
+  [[nodiscard]] bool is_live(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < slot_count_ && slot_ref(slot).gen == gen;
+  }
+
+  /// Destroy the slot's action, bump its generation (invalidating every
+  /// outstanding id and queue entry that references it), and recycle it.
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slot_ref(slot);
+    s.action.reset();
+    ++s.gen;
+    free_slots_.push_back(slot);
+    --live_count_;
+  }
+
+  /// Pop-side hot path: run the slot's action in place and recycle it.
+  void fire(std::uint32_t slot);
+
+  /// Calendar queue (Brown 1988): time is divided into power-of-two-width
+  /// "days"; day d hashes to bucket d & mask. Each bucket is kept sorted
+  /// descending by time so its back() is its minimum and pop is a pop_back.
+  /// Enqueue and dequeue are O(1) amortized versus the O(log n) sift of a
+  /// binary heap, and the pop order is the exact (time, FIFO) total order,
+  /// so simulations are bit-identical to a heap-backed queue.
+  class Calendar {
+   public:
+    Calendar() { buckets_.resize(kMinBuckets); }
+
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+    [[nodiscard]] std::size_t size() const { return count_; }
+
+    void push(const Entry& e) {
+      if (count_ >= buckets_.size() * 2) resize(buckets_.size() * 2);
+      const std::uint64_t day = day_of(e.time);
+      // position() may already sit at a far-future head (run_until can
+      // break without popping); a new event landing in an earlier day must
+      // pull the cursor back or it would be skipped entirely.
+      if (day < cur_day_) cur_day_ = day;
+      std::vector<Entry>& v = buckets_[day & (buckets_.size() - 1)];
+      // Buckets are sorted descending by time; the scan from the front
+      // stops at the first entry the new event is not strictly before, so
+      // among equal times the newest entry sits closest to the front and
+      // pop_back dequeues the oldest first — FIFO without a sequence
+      // number. (resize preserves this by replaying each bucket
+      // back-to-front, i.e. oldest-first.)
+      if (v.empty() || e.before(v.back())) {
+        v.push_back(e);  // strictly earliest of its bucket: plain append
+      } else {
+        auto it = v.begin();
+        while (it != v.end() && e.before(*it)) ++it;
+        v.insert(it, e);
+      }
+      ++count_;
+    }
+
+    /// Smallest (time, seq) entry. Precondition: !empty().
+    [[nodiscard]] const Entry& min();
+
+    /// Remove and return the smallest entry. Precondition: !empty().
+    Entry pop_min();
+
+   private:
+    static constexpr std::size_t kMinBuckets = 16;
+
+    [[nodiscard]] std::uint64_t day_of(TimeNs t) const {
+      return static_cast<std::uint64_t>(t) >> width_log2_;
+    }
+
+    /// Advance cur_day_ to the day of the global minimum entry.
+    void position();
+
+    /// Re-bucket everything into `nbuckets` buckets with a day width fitted
+    /// to the current average inter-event gap.
+    void resize(std::size_t nbuckets);
+
+    std::vector<std::vector<Entry>> buckets_;
+    std::size_t count_ = 0;
+    int width_log2_ = 14;       ///< day width = 2^14 ns ≈ one 802.11 slot
+    std::uint64_t cur_day_ = 0;
+  };
 
   TimeNs now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t live_count_ = 0;
+  std::uint32_t slot_count_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_map<EventId, Action> live_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> free_slots_;
+  Calendar queue_;
 };
 
 }  // namespace meshopt

@@ -1,0 +1,52 @@
+#include "sweep/sweep_runner.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace meshopt {
+
+SweepRunner::SweepRunner(int threads) : threads_(threads) {
+  if (threads_ <= 0) {
+    threads_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads_ <= 0) threads_ = 1;
+  }
+}
+
+void SweepRunner::run_raw(int count, std::uint64_t master_seed,
+                          const std::function<void(const SweepJob&)>& fn) {
+  if (count <= 0) return;
+  const int workers = std::min(threads_, count);
+
+  std::atomic<int> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      SweepJob job;
+      job.index = i;
+      job.seed = job_seed(master_seed, i);
+      try {
+        fn(job);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker();  // degenerate case: no threads, useful under debuggers
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace meshopt

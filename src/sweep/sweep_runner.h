@@ -1,0 +1,71 @@
+#pragma once
+// Parallel scenario sweeps.
+//
+// A sweep is N independent jobs (typically: build a Workbench/Testbed,
+// run a scenario, reduce to a result struct) executed on a pool of worker
+// threads. Two properties make sweeps safe to parallelize here:
+//   * every job gets its own RNG seed derived from (master_seed, index)
+//     with the same splitmix64 mixing RngStream uses, so a job's stream
+//     never depends on which thread ran it or in what order,
+//   * results land in a pre-sized vector at the job's index, so the output
+//     is in job order regardless of completion order.
+// Together they make an 8-thread sweep bit-for-bit identical to running
+// the same jobs sequentially.
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace meshopt {
+
+/// One cell of a sweep.
+struct SweepJob {
+  int index = 0;           ///< position in the sweep, [0, count)
+  std::uint64_t seed = 0;  ///< per-run seed, mix(master_seed, index)
+};
+
+class SweepRunner {
+ public:
+  /// `threads` <= 0 selects the hardware concurrency (at least 1).
+  explicit SweepRunner(int threads = 0);
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Run `count` jobs of `fn` and collect the results in job order.
+  /// `fn` must be callable as R(const SweepJob&) with R movable and
+  /// default-constructible; it runs concurrently on pool threads, so it
+  /// must not touch shared mutable state. The first exception thrown by a
+  /// job is rethrown here after all workers finish.
+  template <typename Fn>
+  auto run(int count, std::uint64_t master_seed, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, const SweepJob&>> {
+    using R = std::invoke_result_t<Fn&, const SweepJob&>;
+    std::vector<R> out(static_cast<std::size_t>(count > 0 ? count : 0));
+    run_raw(count, master_seed, [&out, &fn](const SweepJob& job) {
+      out[static_cast<std::size_t>(job.index)] = fn(job);
+    });
+    return out;
+  }
+
+  /// Untyped variant: `fn` stores its own results (indexed by job.index).
+  void run_raw(int count, std::uint64_t master_seed,
+               const std::function<void(const SweepJob&)>& fn);
+
+  /// The seed job `index` of a sweep over `master_seed` receives.
+  [[nodiscard]] static std::uint64_t job_seed(std::uint64_t master_seed,
+                                              int index) {
+    return RngStream::mix(master_seed, static_cast<std::uint64_t>(index));
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace meshopt

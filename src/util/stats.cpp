@@ -19,6 +19,22 @@ void OnlineStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void OnlineStats::merge(const OnlineStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += o.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += o.n_;
+}
+
 double OnlineStats::variance() const {
   return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
 }

@@ -13,6 +13,11 @@ class OnlineStats {
  public:
   void add(double x);
 
+  /// Fold another accumulator in (Chan's parallel Welford combination);
+  /// the result matches adding the other's samples one by one. Used to
+  /// merge per-cell statistics after a parallel sweep.
+  void merge(const OnlineStats& o);
+
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
   [[nodiscard]] double variance() const;  ///< population variance

@@ -1,0 +1,118 @@
+// Regression tests for the bitset Bron–Kerbosch enumeration: pivoting must
+// prune (the historical implementation copied P and X through an
+// initializer list on every recursion level and degraded badly on dense
+// compatibility graphs), and the packed-row adjacency must behave across
+// 64-bit word boundaries.
+
+#include "model/conflict_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace meshopt {
+namespace {
+
+TEST(BronKerboschPivot, EmptyConflictGraphIsOneSet) {
+  // No conflicts: the complement is K_n, whose single maximal clique is
+  // everything. Without pivoting the recursion still terminates, but a
+  // correct pivot prunes the candidate set to one vertex per level; n = 64
+  // finishing instantly (and returning exactly one set) is the regression
+  // guard.
+  const int n = 64;
+  const ConflictGraph g(n);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto mis = g.maximal_independent_sets();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_EQ(mis.size(), 1u);
+  EXPECT_EQ(mis[0].size(), static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) EXPECT_EQ(mis[0][std::size_t(v)], v);
+  EXPECT_LT(elapsed, 1.0) << "pivoting no longer prunes";
+}
+
+TEST(BronKerboschPivot, NearEmptyConflictGraphStaysSmall) {
+  // A sparse conflict graph has a dense complement — the regime where a
+  // broken pivot blows up. 60 links, 3 conflicts: 2^3 = 8 sets at most.
+  ConflictGraph g(60);
+  g.add_conflict(0, 1);
+  g.add_conflict(20, 21);
+  g.add_conflict(40, 59);
+  const auto mis = g.maximal_independent_sets();
+  EXPECT_EQ(mis.size(), 8u);
+  // One endpoint of each conflicting pair is excluded per set.
+  for (const auto& s : mis) EXPECT_EQ(s.size(), 57u);
+}
+
+TEST(PackedRows, WordBoundarySizes) {
+  // Exercise n straddling the uint64 row boundaries.
+  for (int n : {63, 64, 65, 127, 128, 129}) {
+    ConflictGraph g(n);
+    g.add_conflict(0, n - 1);
+    g.add_conflict(n / 2, n - 1);
+    EXPECT_TRUE(g.conflicts(0, n - 1));
+    EXPECT_TRUE(g.conflicts(n - 1, 0));
+    EXPECT_TRUE(g.conflicts(n / 2, n - 1));
+    EXPECT_FALSE(g.conflicts(0, n / 2));
+    EXPECT_EQ(g.edge_count(), 2);
+
+    // Complete graph across a boundary: MIS = n singletons.
+    ConflictGraph k(n);
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j) k.add_conflict(i, j);
+    const auto mis = k.maximal_independent_sets();
+    ASSERT_EQ(mis.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(mis[std::size_t(i)], std::vector<int>{i});
+    }
+  }
+}
+
+TEST(PackedRows, CapBoundsOutput) {
+  // 2^10 = 1024 independent sets from 10 independent conflicting pairs;
+  // a cap of 100 must truncate, not hang or overflow.
+  ConflictGraph g(20);
+  for (int i = 0; i < 10; ++i) g.add_conflict(2 * i, 2 * i + 1);
+  EXPECT_EQ(g.maximal_independent_sets().size(), 1024u);
+  EXPECT_LE(g.maximal_independent_sets(100).size(), 100u);
+}
+
+TEST(PackedRows, DenseRandomMatchesEdgeCount) {
+  RngStream rng(7, "bk-test");
+  const int n = 70;
+  ConflictGraph g(n);
+  int edges = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(0.5)) {
+        g.add_conflict(i, j);
+        ++edges;
+      }
+    }
+  }
+  EXPECT_EQ(g.edge_count(), edges);
+  // Every enumerated set must be independent and maximal.
+  const auto mis = g.maximal_independent_sets();
+  ASSERT_FALSE(mis.empty());
+  for (const auto& s : mis) {
+    for (std::size_t a = 0; a < s.size(); ++a)
+      for (std::size_t b = a + 1; b < s.size(); ++b)
+        EXPECT_FALSE(g.conflicts(s[a], s[b]));
+    for (int v = 0; v < n; ++v) {
+      bool in_set = false, compatible = true;
+      for (int u : s) {
+        if (u == v) in_set = true;
+        if (g.conflicts(u, v)) compatible = false;
+      }
+      EXPECT_TRUE(in_set || !compatible)
+          << "set not maximal: vertex " << v << " could be added";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace meshopt
