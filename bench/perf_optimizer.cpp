@@ -16,7 +16,16 @@
 #include "opt/network_optimizer.h"
 #include "phy/channel.h"
 #include "sim/simulator.h"
+#include "sweep/sweep_runner.h"
 #include "util/rng.h"
+
+// This file doubles as the seed-vs-now measurement harness: it is copied
+// into a scratch worktree of the previous commit to produce the "before"
+// numbers in BENCH_core.json. Benchmarks that exercise APIs new in this
+// tree are therefore gated on the presence of util/dense_matrix.h.
+#if __has_include("util/dense_matrix.h")
+#define MESHOPT_BENCH_HAS_DENSE 1
+#endif
 
 namespace meshopt {
 namespace {
@@ -140,22 +149,117 @@ void BM_ExtremePoints(benchmark::State& state) {
 }
 BENCHMARK(BM_ExtremePoints)->Arg(12)->Arg(24)->Arg(40);
 
+#ifdef MESHOPT_BENCH_HAS_DENSE
+// Bitset bridge: MIS rows stream straight into the K x L DenseMatrix,
+// no per-set vector<int> / per-point vector<double> materialization.
+void BM_ExtremePointMatrix(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  const ConflictGraph g = random_conflicts(links, 0.5, 43);
+  std::vector<double> caps(static_cast<std::size_t>(links), 1e6);
+  for (auto _ : state) {
+    const auto pts = build_extreme_point_matrix(caps, g);
+    benchmark::DoNotOptimize(pts);
+  }
+}
+BENCHMARK(BM_ExtremePointMatrix)->Arg(12)->Arg(24)->Arg(40)->Arg(80);
+#endif
+
+// ------------------------------------------------------------------- LP
+// The paper's utility LP over K extreme points (Section 6.1), built with
+// the portable LpProblem API so the identical code measures the seed
+// tableau and the flat rewrite. Shape matches NetworkOptimizer's base
+// problem: L <= rows coupling flows to extreme points, one convex-weight
+// equality, capacities normalized to ~1.
+LpProblem rate_region_lp(int links, int flows, int points,
+                         std::uint64_t seed) {
+  RngStream rng(seed, "bench-lpK");
+  LpProblem lp;
+  lp.num_vars = flows + points;
+  lp.objective.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
+  for (int f = 0; f < flows; ++f)
+    lp.objective[static_cast<std::size_t>(f)] = 1.0;
+
+  // Routing: each flow crosses 1-4 random links.
+  std::vector<std::vector<double>> routing(
+      static_cast<std::size_t>(links),
+      std::vector<double>(static_cast<std::size_t>(flows), 0.0));
+  for (int f = 0; f < flows; ++f) {
+    const int hops = rng.uniform_int(1, 4);
+    for (int h = 0; h < hops; ++h)
+      routing[static_cast<std::size_t>(rng.uniform_int(0, links - 1))]
+             [static_cast<std::size_t>(f)] = 1.0;
+  }
+  // Extreme points: each point activates each link with probability 0.5
+  // at a capacity in [0.3, 5] Mb/s; coefficients pre-normalized by 5e6.
+  std::vector<std::vector<double>> pts(
+      static_cast<std::size_t>(points),
+      std::vector<double>(static_cast<std::size_t>(links), 0.0));
+  for (auto& p : pts)
+    for (auto& c : p)
+      if (rng.bernoulli(0.5)) c = rng.uniform(0.3e6, 5e6) / 5e6;
+
+  for (int l = 0; l < links; ++l) {
+    std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
+    for (int f = 0; f < flows; ++f)
+      row[static_cast<std::size_t>(f)] =
+          routing[static_cast<std::size_t>(l)][static_cast<std::size_t>(f)];
+    for (int k = 0; k < points; ++k)
+      row[static_cast<std::size_t>(flows + k)] =
+          -pts[static_cast<std::size_t>(k)][static_cast<std::size_t>(l)];
+    lp.add_constraint(row, Relation::kLe, 0.0);
+  }
+  std::vector<double> simplex_row(static_cast<std::size_t>(lp.num_vars), 0.0);
+  for (int k = 0; k < points; ++k)
+    simplex_row[static_cast<std::size_t>(flows + k)] = 1.0;
+  lp.add_constraint(simplex_row, Relation::kEq, 1.0);
+  for (int f = 0; f < flows; ++f) {
+    // Cap every flow so degenerate routings stay bounded.
+    std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
+    row[static_cast<std::size_t>(f)] = 1.0;
+    lp.add_constraint(row, Relation::kLe, 10.0);
+  }
+  return lp;
+}
+
+void BM_LpSolve(benchmark::State& state) {
+  const int points = static_cast<int>(state.range(0));
+  const LpProblem lp = rate_region_lp(24, 6, points, 51);
+  double obj = 0.0;
+  for (auto _ : state) {
+    const auto sol = solve_lp(lp);
+    obj = sol.objective;
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["objective"] = obj;
+}
+BENCHMARK(BM_LpSolve)->Arg(40)->Arg(80)->Arg(160);
+
 OptimizerInput testbed_scale_problem(int links, int flows, std::uint64_t seed) {
   OptimizerInput in;
   RngStream rng(seed, "bench-lp");
   const ConflictGraph g = random_conflicts(links, 0.5, seed);
   std::vector<double> caps;
   for (int l = 0; l < links; ++l) caps.push_back(rng.uniform(0.3e6, 5e6));
+#ifdef MESHOPT_BENCH_HAS_DENSE
+  in.extreme_points = build_extreme_point_matrix(caps, g);
+  in.routing = DenseMatrix(links, flows);
+  for (int f = 0; f < flows; ++f) {
+    // Each flow crosses 1-4 random links.
+    const int hops = rng.uniform_int(1, 4);
+    for (int h = 0; h < hops; ++h)
+      in.routing(rng.uniform_int(0, links - 1), f) = 1.0;
+  }
+#else
   in.extreme_points = build_extreme_points(caps, g);
   in.routing.assign(static_cast<std::size_t>(links),
                     std::vector<double>(static_cast<std::size_t>(flows), 0.0));
   for (int f = 0; f < flows; ++f) {
-    // Each flow crosses 1-4 random links.
     const int hops = rng.uniform_int(1, 4);
     for (int h = 0; h < hops; ++h)
       in.routing[static_cast<std::size_t>(
           rng.uniform_int(0, links - 1))][static_cast<std::size_t>(f)] = 1.0;
   }
+#endif
   return in;
 }
 
@@ -186,6 +290,26 @@ void BM_MaxMinWaterfilling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MaxMinWaterfilling);
+
+// ---------------------------------------------------------------- sweep
+// Repeated small sweeps on one runner: the shape of a many-small-cell
+// parameter grid. A pool-per-sweep runner pays thread spawn/join every
+// iteration; the persistent work-stealing pool parks between runs.
+void BM_SweepRepeatedTinySweeps(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  SweepRunner runner(4);
+  for (auto _ : state) {
+    auto out = runner.run(jobs, 99, [](const SweepJob& job) {
+      RngStream rng(job.seed, "cell");
+      double acc = 0.0;
+      for (int i = 0; i < 64; ++i) acc += rng.uniform();
+      return acc;
+    });
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_SweepRepeatedTinySweeps)->Arg(8)->Arg(64);
 
 void BM_ChannelLossEstimator(benchmark::State& state) {
   const int s = static_cast<int>(state.range(0));

@@ -72,16 +72,17 @@ int main() {
     capacities.push_back(wb.measure_backlogged({l}, 4.0)[0]);
 
   OptimizerInput in;
-  in.extreme_points = build_extreme_points(
+  in.extreme_points = build_extreme_point_matrix(
       capacities, build_two_hop_conflict_graph(
                       links, [&](NodeId a, NodeId b) {
                         return tb.neighbors(a, b);
                       }));
-  in.routing.assign(links.size(), std::vector<double>(paths.size(), 0.0));
+  in.routing = DenseMatrix(static_cast<int>(links.size()),
+                           static_cast<int>(paths.size()));
   for (std::size_t s = 0; s < paths.size(); ++s)
     for (std::size_t h = 0; h + 1 < paths[s].size(); ++h) {
       const int li = link_index(paths[s][h], paths[s][h + 1]);
-      if (li >= 0) in.routing[static_cast<std::size_t>(li)][s] = 1.0;
+      if (li >= 0) in.routing(li, static_cast<int>(s)) = 1.0;
     }
 
   std::printf("%-22s", "objective");

@@ -153,15 +153,17 @@ RoundResult MeshController::optimize_and_apply() {
           : build_two_hop_conflict_graph(links_, neighbor_pred_);
 
   OptimizerInput in;
-  in.extreme_points = build_extreme_points(capacities, conflicts);
+  // Bitset bridge: MIS rows stream straight into the K x L matrix.
+  in.extreme_points = build_extreme_point_matrix(capacities, conflicts);
 
   // Routing matrix.
-  in.routing.assign(links_.size(), std::vector<double>(flows_.size(), 0.0));
+  in.routing = DenseMatrix(static_cast<int>(links_.size()),
+                           static_cast<int>(flows_.size()));
   for (std::size_t s = 0; s < flows_.size(); ++s) {
     const auto& path = flows_[s].path;
     for (std::size_t h = 0; h + 1 < path.size(); ++h) {
       const int l = link_index(path[h], path[h + 1]);
-      if (l >= 0) in.routing[static_cast<std::size_t>(l)][s] = 1.0;
+      if (l >= 0) in.routing(l, static_cast<int>(s)) = 1.0;
     }
   }
 
@@ -170,7 +172,7 @@ RoundResult MeshController::optimize_and_apply() {
 
   round.ok = true;
   round.links = estimates_;
-  round.extreme_points = static_cast<int>(in.extreme_points.size());
+  round.extreme_points = in.extreme_points.rows();
   round.optimizer_iterations = opt.iterations;
   round.y = opt.y;
   round.x.resize(flows_.size(), 0.0);

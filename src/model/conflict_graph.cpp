@@ -46,6 +46,12 @@ namespace {
 /// candidate sets live in flat per-depth bitset buffers preallocated up
 /// front, so a recursion level is word-parallel ANDs into its own rows —
 /// no vector copies, no allocation.
+///
+/// The enumerator streams each maximal set to a sink as a packed bitset
+/// row (r_bits_), maintained incrementally on recursion push/pop. Sinks
+/// that want vertex indices (the legacy nested-vector API) decode the
+/// row themselves; sinks that want bits (the extreme-point bridge) copy
+/// or consume the words directly.
 class BitsetBronKerbosch {
  public:
   BitsetBronKerbosch(const ConflictGraph& g, std::size_t cap)
@@ -69,15 +75,22 @@ class BitsetBronKerbosch {
     p_.assign(depth_rows, 0);
     x_.assign(depth_rows, 0);
     cand_.assign(depth_rows, 0);
-    r_.reserve(static_cast<std::size_t>(n_));
+    r_bits_.assign(static_cast<std::size_t>(words_), 0);
   }
 
-  [[nodiscard]] std::vector<std::vector<int>> run() {
-    if (n_ == 0) return {};
+  /// Enumerate, calling `emit(bits)` with the packed membership row of
+  /// each maximal independent set. The pointer is valid only during the
+  /// call. Templated so the in-file sorted-set decode pays no per-set
+  /// indirect call; external consumers go through the type-erased
+  /// for_each_independent_set_row, whose one indirect call per set is
+  /// noise next to the per-set work every consumer does anyway (e.g. the
+  /// extreme-point bridge writes an L-double row per set).
+  template <typename Emit>
+  void run(Emit&& emit) {
+    if (n_ == 0) return;
     std::uint64_t* p0 = p_.data();
     for (int v = 0; v < n_; ++v) p0[v >> 6] |= std::uint64_t{1} << (v & 63);
-    expand(0);
-    return std::move(out_);
+    expand(0, emit);
   }
 
  private:
@@ -91,12 +104,14 @@ class BitsetBronKerbosch {
     return true;
   }
 
-  void expand(int depth) {
-    if (out_.size() >= cap_) return;
+  template <typename Emit>
+  void expand(int depth, Emit& emit) {
+    if (emitted_ >= cap_) return;
     std::uint64_t* p = p_.data() + std::size_t(depth) * std::size_t(words_);
     std::uint64_t* x = x_.data() + std::size_t(depth) * std::size_t(words_);
     if (empty_row(p, words_) && empty_row(x, words_)) {
-      out_.push_back(r_);
+      ++emitted_;
+      emit(static_cast<const std::uint64_t*>(r_bits_.data()));
       return;
     }
 
@@ -137,12 +152,14 @@ class BitsetBronKerbosch {
           cp_next[k] = p[k] & cv[k];
           cx_next[k] = x[k] & cv[k];
         }
-        r_.push_back(v);
-        expand(depth + 1);
-        r_.pop_back();
+        r_bits_[static_cast<std::size_t>(v >> 6)] |= std::uint64_t{1}
+                                                     << (v & 63);
+        expand(depth + 1, emit);
+        r_bits_[static_cast<std::size_t>(v >> 6)] &=
+            ~(std::uint64_t{1} << (v & 63));
         p[w] &= ~(std::uint64_t{1} << (v & 63));
         x[w] |= std::uint64_t{1} << (v & 63);
-        if (out_.size() >= cap_) return;
+        if (emitted_ >= cap_) return;
       }
     }
   }
@@ -150,10 +167,10 @@ class BitsetBronKerbosch {
   int n_;
   int words_;
   std::size_t cap_;
+  std::size_t emitted_ = 0;
   std::vector<std::uint64_t> comp_;
   std::vector<std::uint64_t> p_, x_, cand_;
-  std::vector<int> r_;
-  std::vector<std::vector<int>> out_;
+  std::vector<std::uint64_t> r_bits_;  ///< membership row of the current R
 };
 
 }  // namespace
@@ -161,11 +178,36 @@ class BitsetBronKerbosch {
 std::vector<std::vector<int>> ConflictGraph::maximal_independent_sets(
     std::size_t cap) const {
   if (n_ == 0) return {};
+  std::vector<std::vector<int>> sets;
+  const int words = words_;
+  // Decode each packed row into ascending vertex indices (bit scan order
+  // is already sorted), then order the sets lexicographically — the
+  // canonical output this API has always produced.
   BitsetBronKerbosch bk(*this, cap);
-  auto sets = bk.run();
-  for (auto& s : sets) std::sort(s.begin(), s.end());
+  bk.run([&sets, words](const std::uint64_t* bits) {
+    int size = 0;
+    for (int w = 0; w < words; ++w) size += std::popcount(bits[w]);
+    std::vector<int> s;
+    s.reserve(static_cast<std::size_t>(size));
+    for (int w = 0; w < words; ++w) {
+      std::uint64_t word = bits[w];
+      while (word != 0) {
+        s.push_back(w * 64 + std::countr_zero(word));
+        word &= word - 1;
+      }
+    }
+    sets.push_back(std::move(s));
+  });
   std::sort(sets.begin(), sets.end());
   return sets;
+}
+
+void ConflictGraph::for_each_independent_set_row(
+    const std::function<void(const std::uint64_t*)>& emit,
+    std::size_t cap) const {
+  if (n_ == 0) return;
+  BitsetBronKerbosch bk(*this, cap);
+  bk.run([&emit](const std::uint64_t* bits) { emit(bits); });
 }
 
 ConflictGraph build_lir_conflict_graph(

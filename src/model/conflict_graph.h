@@ -36,8 +36,27 @@ class ConflictGraph {
   /// All maximal independent sets (maximal cliques of the complement),
   /// enumerated with Bron–Kerbosch + pivoting over bitset intersections.
   /// `cap` bounds the output as a safety valve; testbed-scale graphs stay
-  /// far below it.
+  /// far below it. Output is canonical: each set sorted ascending, sets
+  /// in lexicographic order.
+  ///
+  /// DEPRECATED for hot paths: materializes one heap vector per set. Use
+  /// for_each_independent_set_row() (packed bitset rows, zero
+  /// intermediates) for anything downstream of the enumeration — e.g. the
+  /// extreme-point matrix build. Kept for tests and casual callers; see
+  /// ARCHITECTURE.md ("MIS output migration") for the mapping.
   [[nodiscard]] std::vector<std::vector<int>> maximal_independent_sets(
+      std::size_t cap = 200000) const;
+
+  /// Bitset-row consumer API: invoke `emit` once per maximal independent
+  /// set with a packed row of row_words() uint64 words (bit j of word
+  /// j/64 set iff link j is in the set). The pointer is only valid during
+  /// the call — copy the words out if they must outlive it.
+  ///
+  /// Sets arrive in Bron–Kerbosch enumeration order, which is
+  /// deterministic for a given graph but differs from the sorted order of
+  /// maximal_independent_sets(). `cap` bounds the number of emitted sets.
+  void for_each_independent_set_row(
+      const std::function<void(const std::uint64_t* bits)>& emit,
       std::size_t cap = 200000) const;
 
   /// Number of 64-bit words per adjacency row.

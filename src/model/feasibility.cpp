@@ -1,5 +1,6 @@
 #include "model/feasibility.h"
 
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -7,6 +8,33 @@
 #include "opt/simplex.h"
 
 namespace meshopt {
+
+DenseMatrix build_extreme_point_matrix(const std::vector<double>& capacities,
+                                       const ConflictGraph& conflicts,
+                                       std::size_t cap) {
+  const int l = static_cast<int>(capacities.size());
+  if (conflicts.size() != l)
+    throw std::invalid_argument(
+        "extreme points: conflict graph size != link count");
+  DenseMatrix points;
+  points.set_cols(l);
+  const int words = conflicts.row_words();
+  const double* caps = capacities.data();
+  conflicts.for_each_independent_set_row(
+      [&points, caps, words](const std::uint64_t* bits) {
+        double* row = points.append_row();
+        for (int w = 0; w < words; ++w) {
+          std::uint64_t word = bits[w];
+          while (word != 0) {
+            const int link = w * 64 + std::countr_zero(word);
+            word &= word - 1;
+            row[link] = caps[link];
+          }
+        }
+      },
+      cap);
+  return points;
+}
 
 std::vector<std::vector<double>> build_extreme_points(
     const std::vector<double>& capacities, const ConflictGraph& conflicts) {
@@ -25,19 +53,14 @@ std::vector<std::vector<double>> build_extreme_points(
   return points;
 }
 
-FeasibilityRegion::FeasibilityRegion(
-    std::vector<std::vector<double>> extreme_points)
+FeasibilityRegion::FeasibilityRegion(DenseMatrix extreme_points)
     : points_(std::move(extreme_points)) {
-  if (points_.empty())
+  if (points_.rows() == 0)
     throw std::invalid_argument("feasibility region needs >= 1 extreme point");
-  l_ = static_cast<int>(points_.front().size());
-  for (const auto& p : points_)
-    if (static_cast<int>(p.size()) != l_)
-      throw std::invalid_argument("extreme point arity mismatch");
 }
 
 double FeasibilityRegion::max_scaling(const std::vector<double>& load) const {
-  if (static_cast<int>(load.size()) != l_)
+  if (static_cast<int>(load.size()) != num_links())
     throw std::invalid_argument("load arity mismatch");
   bool any_positive = false;
   for (double g : load)
@@ -53,17 +76,13 @@ double FeasibilityRegion::max_scaling(const std::vector<double>& load) const {
   lp.objective.assign(static_cast<std::size_t>(k) + 1, 0.0);
   lp.objective.back() = 1.0;
 
-  for (int l = 0; l < l_; ++l) {
-    std::vector<double> row(static_cast<std::size_t>(k) + 1, 0.0);
-    for (int i = 0; i < k; ++i)
-      row[static_cast<std::size_t>(i)] =
-          points_[static_cast<std::size_t>(i)][static_cast<std::size_t>(l)];
-    row.back() = -load[static_cast<std::size_t>(l)];
-    lp.add_constraint(std::move(row), Relation::kGe, 0.0);
+  for (int l = 0; l < num_links(); ++l) {
+    double* row = lp.add_row(Relation::kGe, 0.0);
+    for (int i = 0; i < k; ++i) row[i] = points_(i, l);
+    row[k] = -load[static_cast<std::size_t>(l)];
   }
-  std::vector<double> simplex_row(static_cast<std::size_t>(k) + 1, 1.0);
-  simplex_row.back() = 0.0;
-  lp.add_constraint(std::move(simplex_row), Relation::kEq, 1.0);
+  double* simplex_row = lp.add_row(Relation::kEq, 1.0);
+  for (int i = 0; i < k; ++i) simplex_row[i] = 1.0;
 
   const LpSolution sol = solve_lp(lp);
   if (sol.status == LpStatus::kUnbounded)

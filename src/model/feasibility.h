@@ -7,34 +7,47 @@
 // are per-link capacities; secondary points come from maximal independent
 // sets via Eq. (4).
 
+#include <cstddef>
 #include <vector>
 
 #include "model/conflict_graph.h"
+#include "util/dense_matrix.h"
 
 namespace meshopt {
 
-/// Eq. (4): map each maximal independent set m to a secondary extreme
-/// point c2[m] = C(1) * v[m], i.e. the vector holding each member link's
-/// capacity and zero elsewhere.
+/// Eq. (4) on the fast path: map each maximal independent set m to a row
+/// of a K x L DenseMatrix holding each member link's capacity (bits/s)
+/// and zero elsewhere. Streams the ConflictGraph's packed bitset rows
+/// straight into the matrix — no vector<vector<int>> intermediate — so
+/// the enumeration's output cost is one row write per set. Row order is
+/// the enumeration order of for_each_independent_set_row().
+[[nodiscard]] DenseMatrix build_extreme_point_matrix(
+    const std::vector<double>& capacities, const ConflictGraph& conflicts,
+    std::size_t cap = 200000);
+
+/// Eq. (4), legacy nested-vector output (rows in the sorted-set order of
+/// ConflictGraph::maximal_independent_sets()).
+///
+/// DEPRECATED for hot paths: materializes the MIS list first. Prefer
+/// build_extreme_point_matrix(); see ARCHITECTURE.md ("MIS output
+/// migration").
 [[nodiscard]] std::vector<std::vector<double>> build_extreme_points(
     const std::vector<double>& capacities, const ConflictGraph& conflicts);
 
 /// Convex polytope spanned by extreme points, with downward closure.
 class FeasibilityRegion {
  public:
-  /// `extreme_points` is K x L (each row one extreme point).
-  explicit FeasibilityRegion(std::vector<std::vector<double>> extreme_points);
+  /// `extreme_points` is K x L (each row one extreme point, bits/s).
+  explicit FeasibilityRegion(DenseMatrix extreme_points);
 
-  [[nodiscard]] int num_links() const { return l_; }
-  [[nodiscard]] int num_points() const {
-    return static_cast<int>(points_.size());
-  }
-  [[nodiscard]] const std::vector<std::vector<double>>& points() const {
-    return points_;
-  }
+  [[nodiscard]] int num_links() const { return points_.cols(); }
+  [[nodiscard]] int num_points() const { return points_.rows(); }
+  /// The K x L extreme-point matrix.
+  [[nodiscard]] const DenseMatrix& points() const { return points_; }
 
   /// Largest lambda such that lambda * load is feasible (dominated by a
   /// convex combination of extreme points). Returns +inf for a zero load.
+  /// @pre load.size() == num_links(); entries in bits/s.
   [[nodiscard]] double max_scaling(const std::vector<double>& load) const;
 
   /// Is the load vector inside the region (within tolerance)?
@@ -42,8 +55,7 @@ class FeasibilityRegion {
                               double tol = 1e-6) const;
 
  private:
-  int l_ = 0;
-  std::vector<std::vector<double>> points_;
+  DenseMatrix points_;
 };
 
 }  // namespace meshopt

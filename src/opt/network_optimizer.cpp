@@ -17,52 +17,49 @@ struct ProblemShape {
 
 ProblemShape shape_of(const OptimizerInput& in) {
   ProblemShape s;
-  s.links = static_cast<int>(in.routing.size());
-  s.flows = s.links > 0 ? static_cast<int>(in.routing.front().size()) : 0;
-  s.points = static_cast<int>(in.extreme_points.size());
+  s.links = in.routing.rows();
+  s.flows = in.routing.cols();
+  s.points = in.extreme_points.rows();
   double max_cap = 0.0;
-  for (const auto& p : in.extreme_points)
-    for (double c : p) max_cap = std::max(max_cap, c);
+  const double* p = in.extreme_points.data();
+  const std::size_t total = static_cast<std::size_t>(s.points) *
+                            static_cast<std::size_t>(in.extreme_points.cols());
+  for (std::size_t i = 0; i < total; ++i) max_cap = std::max(max_cap, p[i]);
   s.scale = max_cap > 0.0 ? max_cap : 1.0;
   return s;
 }
 
 /// Build the shared constraint set over variables (y_0..y_{S-1},
-/// alpha_0..alpha_{K-1}) with capacities scaled to ~1.
-LpProblem base_problem(const OptimizerInput& in, const ProblemShape& s) {
+/// alpha_0..alpha_{K-1}[, extras]) with capacities scaled to ~1.
+/// `extra_vars` appends zero-coefficient variables (used by max-min for
+/// its water-level variable t) so callers never have to widen rows later.
+LpProblem base_problem(const OptimizerInput& in, const ProblemShape& s,
+                       int extra_vars = 0) {
   LpProblem lp;
-  lp.num_vars = s.flows + s.points;
+  lp.num_vars = s.flows + s.points + extra_vars;
   lp.objective.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
 
+  const double inv_scale = 1.0 / s.scale;
   for (int l = 0; l < s.links; ++l) {
-    std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
-    for (int f = 0; f < s.flows; ++f)
-      row[static_cast<std::size_t>(f)] =
-          in.routing[static_cast<std::size_t>(l)][static_cast<std::size_t>(f)];
+    double* row = lp.add_row(Relation::kLe, 0.0);
+    const double* routing = in.routing.row(l);
+    for (int f = 0; f < s.flows; ++f) row[f] = routing[f];
+    // Column l of the K x L extreme-point matrix, negated and normalized.
     for (int k = 0; k < s.points; ++k)
-      row[static_cast<std::size_t>(s.flows + k)] =
-          -in.extreme_points[static_cast<std::size_t>(k)]
-                            [static_cast<std::size_t>(l)] /
-          s.scale;
-    lp.add_constraint(std::move(row), Relation::kLe, 0.0);
+      row[s.flows + k] = -in.extreme_points(k, l) * inv_scale;
   }
   // Convex weights sum to one.
-  std::vector<double> simplex_row(static_cast<std::size_t>(lp.num_vars), 0.0);
-  for (int k = 0; k < s.points; ++k)
-    simplex_row[static_cast<std::size_t>(s.flows + k)] = 1.0;
-  lp.add_constraint(std::move(simplex_row), Relation::kEq, 1.0);
+  double* simplex_row = lp.add_row(Relation::kEq, 1.0);
+  for (int k = 0; k < s.points; ++k) simplex_row[s.flows + k] = 1.0;
 
   // Safety cap: a flow crossing no modeled link would be unbounded.
   for (int f = 0; f < s.flows; ++f) {
     bool routed = false;
     for (int l = 0; l < s.links; ++l)
-      if (in.routing[static_cast<std::size_t>(l)][static_cast<std::size_t>(f)] >
-          0.0)
-        routed = true;
+      if (in.routing(l, f) > 0.0) routed = true;
     if (!routed) {
-      std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
-      row[static_cast<std::size_t>(f)] = 1.0;
-      lp.add_constraint(std::move(row), Relation::kLe, 1.0);
+      double* row = lp.add_row(Relation::kLe, 1.0);
+      row[f] = 1.0;
     }
   }
   return lp;
@@ -84,11 +81,11 @@ OptimizerResult unpack(const LpSolution& sol, const ProblemShape& s) {
 }
 
 OptimizerResult solve_max_throughput(const OptimizerInput& in,
-                                     const ProblemShape& s) {
+                                     const ProblemShape& s, LpSolver& solver) {
   LpProblem lp = base_problem(in, s);
   for (int f = 0; f < s.flows; ++f)
     lp.objective[static_cast<std::size_t>(f)] = 1.0;
-  OptimizerResult r = unpack(solve_lp(lp), s);
+  OptimizerResult r = unpack(solver.solve(lp), s);
   if (r.ok) {
     r.objective_value = 0.0;
     for (double y : r.y) r.objective_value += y;
@@ -97,60 +94,70 @@ OptimizerResult solve_max_throughput(const OptimizerInput& in,
 }
 
 /// Lexicographic max-min via iterative water-filling LPs.
-OptimizerResult solve_max_min(const OptimizerInput& in,
-                              const ProblemShape& s) {
+OptimizerResult solve_max_min(const OptimizerInput& in, const ProblemShape& s,
+                              LpSolver& solver) {
   std::vector<bool> fixed(static_cast<std::size_t>(s.flows), false);
   std::vector<double> level(static_cast<std::size_t>(s.flows), 0.0);
 
   for (int round = 0; round < s.flows; ++round) {
     // Maximize t with y_f >= t for unfixed flows, y_f == level for fixed.
-    LpProblem lp = base_problem(in, s);
-    const int t_var = lp.num_vars;  // append t
-    lp.num_vars += 1;
-    for (auto& c : lp.constraints) c.coeffs.push_back(0.0);
-    lp.objective.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
+    LpProblem lp = base_problem(in, s, /*extra_vars=*/1);
+    const int t_var = s.flows + s.points;
     lp.objective[static_cast<std::size_t>(t_var)] = 1.0;
 
     for (int f = 0; f < s.flows; ++f) {
-      std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
-      row[static_cast<std::size_t>(f)] = 1.0;
       if (fixed[static_cast<std::size_t>(f)]) {
-        lp.add_constraint(std::move(row), Relation::kEq,
-                          level[static_cast<std::size_t>(f)]);
+        double* row =
+            lp.add_row(Relation::kEq, level[static_cast<std::size_t>(f)]);
+        row[f] = 1.0;
       } else {
-        row[static_cast<std::size_t>(t_var)] = -1.0;
-        lp.add_constraint(std::move(row), Relation::kGe, 0.0);
+        double* row = lp.add_row(Relation::kGe, 0.0);
+        row[f] = 1.0;
+        row[t_var] = -1.0;
       }
     }
-    const LpSolution sol = solve_lp(lp);
+    const LpSolution sol = solver.solve(lp);
     if (sol.status != LpStatus::kOptimal) break;
     const double t = sol.x[static_cast<std::size_t>(t_var)];
 
     // Find which unfixed flows are actually capped at t: try to push each
-    // one above t while others stay >= t.
+    // one above t while others stay >= t. Consecutive push problems are
+    // identical until a flow gets fixed, so the problem is built once per
+    // segment, only the objective entry moves between flows, and every
+    // solve after the segment's first warm-starts from the cached basis.
     bool progressed = false;
+    LpProblem push;
+    bool push_stale = true;
+    int prev_obj_flow = -1;
     for (int f = 0; f < s.flows; ++f) {
       if (fixed[static_cast<std::size_t>(f)]) continue;
-      LpProblem push = base_problem(in, s);
-      push.objective.assign(static_cast<std::size_t>(push.num_vars), 0.0);
-      push.objective[static_cast<std::size_t>(f)] = 1.0;
-      for (int g = 0; g < s.flows; ++g) {
-        std::vector<double> row(static_cast<std::size_t>(push.num_vars), 0.0);
-        row[static_cast<std::size_t>(g)] = 1.0;
-        if (fixed[static_cast<std::size_t>(g)]) {
-          push.add_constraint(std::move(row), Relation::kEq,
-                              level[static_cast<std::size_t>(g)]);
-        } else {
-          push.add_constraint(std::move(row), Relation::kGe, t);
+      if (push_stale) {
+        push = base_problem(in, s);
+        for (int g = 0; g < s.flows; ++g) {
+          if (fixed[static_cast<std::size_t>(g)]) {
+            double* row = push.add_row(Relation::kEq,
+                                       level[static_cast<std::size_t>(g)]);
+            row[g] = 1.0;
+          } else {
+            double* row = push.add_row(Relation::kGe, t);
+            row[g] = 1.0;
+          }
         }
+        prev_obj_flow = -1;
       }
-      const LpSolution up = solve_lp(push);
-      const double reach =
-          up.status == LpStatus::kOptimal ? up.objective : t;
+      if (prev_obj_flow >= 0)
+        push.objective[static_cast<std::size_t>(prev_obj_flow)] = 0.0;
+      push.objective[static_cast<std::size_t>(f)] = 1.0;
+      prev_obj_flow = f;
+      const LpSolution up =
+          push_stale ? solver.solve(push) : solver.resolve_objective(push);
+      push_stale = false;
+      const double reach = up.status == LpStatus::kOptimal ? up.objective : t;
       if (reach <= t + 1e-7) {
         fixed[static_cast<std::size_t>(f)] = true;
         level[static_cast<std::size_t>(f)] = t;
         progressed = true;
+        push_stale = true;  // the next push sees a new Eq row
       }
     }
     if (!progressed) {
@@ -169,18 +176,16 @@ OptimizerResult solve_max_min(const OptimizerInput& in,
   // Final solve with all levels pinned to recover alpha weights.
   LpProblem lp = base_problem(in, s);
   for (int f = 0; f < s.flows; ++f) {
-    std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
-    row[static_cast<std::size_t>(f)] = 1.0;
-    lp.add_constraint(std::move(row), Relation::kGe,
-                      level[static_cast<std::size_t>(f)] * (1.0 - 1e-9));
+    double* row = lp.add_row(Relation::kGe,
+                             level[static_cast<std::size_t>(f)] * (1.0 - 1e-9));
+    row[f] = 1.0;
   }
-  OptimizerResult r = unpack(solve_lp(lp), s);
+  OptimizerResult r = unpack(solver.solve(lp), s);
   if (r.ok) {
     for (int f = 0; f < s.flows; ++f)
       r.y[static_cast<std::size_t>(f)] =
           level[static_cast<std::size_t>(f)] * s.scale;
-    r.objective_value =
-        *std::min_element(r.y.begin(), r.y.end());
+    r.objective_value = *std::min_element(r.y.begin(), r.y.end());
   }
   return r;
 }
@@ -188,11 +193,12 @@ OptimizerResult solve_max_min(const OptimizerInput& in,
 /// Frank–Wolfe for strictly concave alpha-fair objectives.
 OptimizerResult solve_alpha_fair(const OptimizerInput& in,
                                  const ProblemShape& s, double alpha,
-                                 int iterations, double tolerance) {
+                                 int iterations, double tolerance,
+                                 LpSolver& solver) {
   const AlphaFairUtility util(alpha, 1e-6);
 
   // Interior-ish start: the max-min point keeps every flow positive.
-  OptimizerResult start = solve_max_min(in, s);
+  OptimizerResult start = solve_max_min(in, s, solver);
   if (!start.ok) return start;
 
   const int n = s.flows + s.points;
@@ -211,6 +217,9 @@ OptimizerResult solve_alpha_fair(const OptimizerInput& in,
     return acc;
   };
 
+  // The constraint set is fixed across iterations; only the oracle's
+  // objective changes, so the LpProblem is built once and every oracle
+  // call after the first warm-starts from the previous optimal basis.
   LpProblem lp = base_problem(in, s);
   OptimizerResult result;
   int iter = 0;
@@ -220,7 +229,8 @@ OptimizerResult solve_alpha_fair(const OptimizerInput& in,
     for (int f = 0; f < s.flows; ++f)
       lp.objective[static_cast<std::size_t>(f)] =
           util.gradient(z[static_cast<std::size_t>(f)]);
-    const LpSolution sol = solve_lp(lp);
+    const LpSolution sol =
+        iter == 0 ? solver.solve(lp) : solver.resolve_objective(lp);
     if (sol.status != LpStatus::kOptimal) break;
 
     // FW gap (scaled): grad . (v - z).
@@ -283,31 +293,32 @@ OptimizerResult solve_alpha_fair(const OptimizerInput& in,
 
 }  // namespace
 
-OptimizerResult optimize_rates(const OptimizerInput& input,
-                               const OptimizerConfig& config) {
+OptimizerResult NetworkOptimizer::solve(const OptimizerInput& input) {
   const ProblemShape s = shape_of(input);
   OptimizerResult empty;
   if (s.flows == 0 || s.points == 0 || s.links == 0) return empty;
-  for (const auto& row : input.routing)
-    if (static_cast<int>(row.size()) != s.flows)
-      throw std::invalid_argument("routing matrix is ragged");
-  for (const auto& p : input.extreme_points)
-    if (static_cast<int>(p.size()) != s.links)
-      throw std::invalid_argument("extreme point arity != link count");
+  if (input.extreme_points.cols() != s.links)
+    throw std::invalid_argument("extreme point arity != link count");
 
-  switch (config.objective) {
+  switch (cfg_.objective) {
     case Objective::kMaxThroughput:
-      return solve_max_throughput(input, s);
+      return solve_max_throughput(input, s, lp_);
     case Objective::kMaxMin:
-      return solve_max_min(input, s);
+      return solve_max_min(input, s, lp_);
     case Objective::kProportionalFair:
-      return solve_alpha_fair(input, s, 1.0, config.fw_iterations,
-                              config.tolerance);
+      return solve_alpha_fair(input, s, 1.0, cfg_.fw_iterations,
+                              cfg_.tolerance, lp_);
     case Objective::kAlphaFair:
-      return solve_alpha_fair(input, s, config.alpha, config.fw_iterations,
-                              config.tolerance);
+      return solve_alpha_fair(input, s, cfg_.alpha, cfg_.fw_iterations,
+                              cfg_.tolerance, lp_);
   }
   return empty;
+}
+
+OptimizerResult optimize_rates(const OptimizerInput& input,
+                               const OptimizerConfig& config) {
+  NetworkOptimizer optimizer(config);
+  return optimizer.solve(input);
 }
 
 double tcp_ack_airtime_factor(int payload_bytes, int header_bytes,

@@ -11,248 +11,240 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-/// Dense simplex tableau operating on the standard-form problem.
-class Tableau {
- public:
-  Tableau(const LpProblem& p) {
-    m_ = static_cast<int>(p.constraints.size());
-    n_orig_ = p.num_vars;
+[[nodiscard]] Relation flip(Relation r) {
+  if (r == Relation::kLe) return Relation::kGe;
+  if (r == Relation::kGe) return Relation::kLe;
+  return Relation::kEq;
+}
 
-    // Count extra columns: slack for <=, surplus for >=, artificial for
-    // >= and =.
-    int slack = 0, artificial = 0;
-    for (const auto& c : p.constraints) {
-      // After sign normalization rhs >= 0; relation may flip.
-      const Relation rel = c.rhs < 0.0 ? flip(c.rel) : c.rel;
-      if (rel == Relation::kLe) {
-        ++slack;
-      } else if (rel == Relation::kGe) {
-        ++slack;  // surplus
-        ++artificial;
-      } else {
-        ++artificial;
-      }
-    }
-    n_ = n_orig_ + slack + artificial;
-    first_artificial_ = n_ - artificial;
+}  // namespace
 
-    rows_.assign(static_cast<std::size_t>(m_),
-                 std::vector<double>(static_cast<std::size_t>(n_) + 1, 0.0));
-    basis_.assign(static_cast<std::size_t>(m_), -1);
+double* LpProblem::add_row(Relation rel, double rhs_value) {
+  if (coeffs.rows() == 0) {
+    coeffs.clear();
+    coeffs.set_cols(num_vars);
+  } else if (coeffs.cols() != num_vars) {
+    throw std::invalid_argument("LpProblem: num_vars changed after add_row");
+  }
+  rels.push_back(rel);
+  rhs.push_back(rhs_value);
+  return coeffs.append_row();
+}
 
-    int next_slack = n_orig_;
-    int next_art = first_artificial_;
-    for (int i = 0; i < m_; ++i) {
-      const auto& c = p.constraints[static_cast<std::size_t>(i)];
-      if (static_cast<int>(c.coeffs.size()) != n_orig_)
-        throw std::invalid_argument("LP constraint arity mismatch");
-      const double sign = c.rhs < 0.0 ? -1.0 : 1.0;
-      const Relation rel = c.rhs < 0.0 ? flip(c.rel) : c.rel;
-      auto& row = rows_[static_cast<std::size_t>(i)];
-      for (int j = 0; j < n_orig_; ++j)
-        row[static_cast<std::size_t>(j)] = sign * c.coeffs[static_cast<std::size_t>(j)];
-      row[static_cast<std::size_t>(n_)] = sign * c.rhs;
+void LpProblem::add_constraint(const std::vector<double>& coeffs_row,
+                               Relation rel, double rhs_value) {
+  if (static_cast<int>(coeffs_row.size()) != num_vars)
+    throw std::invalid_argument("LP constraint arity mismatch");
+  double* row = add_row(rel, rhs_value);
+  std::copy(coeffs_row.begin(), coeffs_row.end(), row);
+}
 
-      if (rel == Relation::kLe) {
-        row[static_cast<std::size_t>(next_slack)] = 1.0;
-        basis_[static_cast<std::size_t>(i)] = next_slack++;
-      } else if (rel == Relation::kGe) {
-        row[static_cast<std::size_t>(next_slack++)] = -1.0;
-        row[static_cast<std::size_t>(next_art)] = 1.0;
-        basis_[static_cast<std::size_t>(i)] = next_art++;
-      } else {
-        row[static_cast<std::size_t>(next_art)] = 1.0;
-        basis_[static_cast<std::size_t>(i)] = next_art++;
-      }
+/// Build the standard-form tableau: original variables, then slack/surplus
+/// columns, then artificial columns; the last tableau column is the RHS.
+void LpSolver::load(const LpProblem& p) {
+  m_ = p.num_constraints();
+  n_orig_ = p.num_vars;
+
+  // Count extra columns: slack for <=, surplus for >=, artificial for
+  // >= and =.
+  int slack = 0, artificial = 0;
+  for (int i = 0; i < m_; ++i) {
+    // After sign normalization rhs >= 0; relation may flip.
+    const Relation rel = p.rhs[static_cast<std::size_t>(i)] < 0.0
+                             ? flip(p.rels[static_cast<std::size_t>(i)])
+                             : p.rels[static_cast<std::size_t>(i)];
+    if (rel == Relation::kLe) {
+      ++slack;
+    } else if (rel == Relation::kGe) {
+      ++slack;  // surplus
+      ++artificial;
+    } else {
+      ++artificial;
     }
   }
+  n_ = n_orig_ + slack + artificial;
+  first_artificial_ = n_ - artificial;
 
-  /// Phase 1: minimize the sum of artificial variables.
-  [[nodiscard]] bool phase1() {
-    if (first_artificial_ == n_) return true;  // no artificials
-    // Objective: maximize -(sum of artificials).
-    obj_.assign(static_cast<std::size_t>(n_) + 1, 0.0);
-    for (int j = first_artificial_; j < n_; ++j)
-      obj_[static_cast<std::size_t>(j)] = -1.0;
-    make_reduced_costs_consistent();
-    if (!optimize()) return false;  // unbounded phase 1: cannot happen
-    // The z-row RHS holds -z; artificials left positive mean z < 0.
-    if (obj_[static_cast<std::size_t>(n_)] > 1e-7) return false;  // infeasible
-    drive_out_artificials();
-    return true;
-  }
+  // Pad rows to a 64-byte multiple: the pivot inner loops then run over
+  // whole aligned vectors. Padding elements are written to 0 here and
+  // provably stay 0 (they only ever see x/pv with x == 0 and
+  // x -= f * 0), so running the loops across them changes nothing.
+  stride_ = (n_ + 1 + 7) & ~7;
+  tab_.resize(m_, stride_, 0.0);
+  basis_.assign(static_cast<std::size_t>(m_), -1);
 
-  /// Phase 2 with the real objective (maximize).
-  [[nodiscard]] LpStatus phase2(const std::vector<double>& c) {
-    obj_.assign(static_cast<std::size_t>(n_) + 1, 0.0);
-    for (int j = 0; j < n_orig_ && j < static_cast<int>(c.size()); ++j)
-      obj_[static_cast<std::size_t>(j)] = c[static_cast<std::size_t>(j)];
-    // Forbid re-entry of artificial variables.
-    for (int j = first_artificial_; j < n_; ++j)
-      obj_[static_cast<std::size_t>(j)] =
-          -std::numeric_limits<double>::infinity();
-    make_reduced_costs_consistent();
-    return optimize() ? LpStatus::kOptimal : LpStatus::kUnbounded;
-  }
+  int next_slack = n_orig_;
+  int next_art = first_artificial_;
+  for (int i = 0; i < m_; ++i) {
+    const double in_rhs = p.rhs[static_cast<std::size_t>(i)];
+    const double sign = in_rhs < 0.0 ? -1.0 : 1.0;
+    const Relation rel = in_rhs < 0.0 ? flip(p.rels[static_cast<std::size_t>(i)])
+                                      : p.rels[static_cast<std::size_t>(i)];
+    const double* src = p.coeffs.row(i);
+    double* row = tab_.row(i);
+    for (int j = 0; j < n_orig_; ++j) row[j] = sign * src[j];
+    row[n_] = sign * in_rhs;
 
-  [[nodiscard]] std::vector<double> solution() const {
-    std::vector<double> x(static_cast<std::size_t>(n_orig_), 0.0);
-    for (int i = 0; i < m_; ++i) {
-      const int b = basis_[static_cast<std::size_t>(i)];
-      if (b >= 0 && b < n_orig_)
-        x[static_cast<std::size_t>(b)] =
-            rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(n_)];
-    }
-    return x;
-  }
-
-  [[nodiscard]] double objective_value() const {
-    return obj_[static_cast<std::size_t>(n_)];
-  }
-
- private:
-  static Relation flip(Relation r) {
-    if (r == Relation::kLe) return Relation::kGe;
-    if (r == Relation::kGe) return Relation::kLe;
-    return Relation::kEq;
-  }
-
-  /// Express the objective row in terms of non-basic variables by
-  /// eliminating the basic columns.
-  void make_reduced_costs_consistent() {
-    for (int i = 0; i < m_; ++i) {
-      const int b = basis_[static_cast<std::size_t>(i)];
-      const double coef = obj_[static_cast<std::size_t>(b)];
-      if (std::abs(coef) < kEps || std::isinf(coef)) {
-        if (std::isinf(coef)) {
-          // An artificial still in the basis at value ~0: treat its
-          // objective coefficient as 0 for elimination purposes.
-          obj_[static_cast<std::size_t>(b)] = 0.0;
-        }
-        continue;
-      }
-      const auto& row = rows_[static_cast<std::size_t>(i)];
-      for (int j = 0; j <= n_; ++j)
-        obj_[static_cast<std::size_t>(j)] -= coef * row[static_cast<std::size_t>(j)];
+    if (rel == Relation::kLe) {
+      row[next_slack] = 1.0;
+      basis_[static_cast<std::size_t>(i)] = next_slack++;
+    } else if (rel == Relation::kGe) {
+      row[next_slack++] = -1.0;
+      row[next_art] = 1.0;
+      basis_[static_cast<std::size_t>(i)] = next_art++;
+    } else {
+      row[next_art] = 1.0;
+      basis_[static_cast<std::size_t>(i)] = next_art++;
     }
   }
+}
 
-  void pivot(int row, int col) {
-    auto& prow = rows_[static_cast<std::size_t>(row)];
-    const double pv = prow[static_cast<std::size_t>(col)];
-    for (double& v : prow) v /= pv;
-    for (int i = 0; i < m_; ++i) {
-      if (i == row) continue;
-      auto& r = rows_[static_cast<std::size_t>(i)];
-      const double f = r[static_cast<std::size_t>(col)];
-      if (std::abs(f) < kEps) continue;
-      for (int j = 0; j <= n_; ++j)
-        r[static_cast<std::size_t>(j)] -= f * prow[static_cast<std::size_t>(j)];
-    }
-    const double f = obj_[static_cast<std::size_t>(col)];
-    if (std::abs(f) > kEps && !std::isinf(f)) {
-      for (int j = 0; j <= n_; ++j)
-        obj_[static_cast<std::size_t>(j)] -= f * prow[static_cast<std::size_t>(j)];
-    }
-    basis_[static_cast<std::size_t>(row)] = col;
+/// Phase 1: minimize the sum of artificial variables.
+bool LpSolver::phase1() {
+  if (first_artificial_ == n_) return true;  // no artificials
+  // Objective: maximize -(sum of artificials).
+  obj_.assign(static_cast<std::size_t>(stride_), 0.0);
+  for (int j = first_artificial_; j < n_; ++j)
+    obj_[static_cast<std::size_t>(j)] = -1.0;
+  make_reduced_costs_consistent();
+  if (!optimize(n_)) return false;  // unbounded phase 1: cannot happen
+  // The z-row RHS holds -z; artificials left positive mean z < 0.
+  if (obj_[static_cast<std::size_t>(n_)] > 1e-7) return false;  // infeasible
+  drive_out_artificials();
+  return true;
+}
+
+/// Phase 2 with the real objective (maximize). Artificial columns keep a
+/// zero objective coefficient and are excluded from pricing, which bars
+/// them from re-entering the basis — numerically identical to the
+/// historical -inf sentinel, minus the per-element isinf checks.
+LpStatus LpSolver::phase2(const std::vector<double>& c) {
+  obj_.assign(static_cast<std::size_t>(stride_), 0.0);
+  for (int j = 0; j < n_orig_ && j < static_cast<int>(c.size()); ++j)
+    obj_[static_cast<std::size_t>(j)] = c[static_cast<std::size_t>(j)];
+  make_reduced_costs_consistent();
+  return optimize(first_artificial_) ? LpStatus::kOptimal
+                                     : LpStatus::kUnbounded;
+}
+
+/// Express the objective row in terms of non-basic variables by
+/// eliminating the basic columns.
+void LpSolver::make_reduced_costs_consistent() {
+  for (int i = 0; i < m_; ++i) {
+    const int b = basis_[static_cast<std::size_t>(i)];
+    const double coef = obj_[static_cast<std::size_t>(b)];
+    if (std::abs(coef) < kEps) continue;
+    const double* row = tab_.row(i);
+    double* obj = obj_.data();
+    for (int j = 0; j < stride_; ++j) obj[j] -= coef * row[j];
   }
+}
 
-  /// Returns false on unboundedness.
-  [[nodiscard]] bool optimize() {
-    const int max_iters = 200 * (m_ + n_ + 10);
-    int iters = 0;
-    bool bland = false;
-    while (true) {
-      if (++iters > max_iters) {
-        bland = true;  // enforce termination
-      }
-      // Entering column: positive reduced cost (maximization).
-      int col = -1;
-      double best = kEps;
-      for (int j = 0; j < n_; ++j) {
-        const double rc = obj_[static_cast<std::size_t>(j)];
-        if (std::isinf(rc)) continue;
-        if (bland) {
-          if (rc > kEps) {
-            col = j;
-            break;
-          }
-        } else if (rc > best) {
-          best = rc;
-          col = j;
-        }
-      }
-      if (col < 0) return true;  // optimal
-
-      // Ratio test.
-      int row = -1;
-      double best_ratio = std::numeric_limits<double>::infinity();
-      for (int i = 0; i < m_; ++i) {
-        const double a =
-            rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(col)];
-        if (a > kEps) {
-          const double ratio =
-              rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(n_)] / a;
-          if (ratio < best_ratio - kEps ||
-              (ratio < best_ratio + kEps && row >= 0 &&
-               basis_[static_cast<std::size_t>(i)] <
-                   basis_[static_cast<std::size_t>(row)])) {
-            best_ratio = ratio;
-            row = i;
-          }
-        }
-      }
-      if (row < 0) return false;  // unbounded
-      pivot(row, col);
-    }
+void LpSolver::pivot(int row, int col) {
+  double* prow = tab_.row(row);
+  const double pv = prow[col];
+  for (int j = 0; j < stride_; ++j) prow[j] /= pv;
+  for (int i = 0; i < m_; ++i) {
+    if (i == row) continue;
+    double* r = tab_.row(i);
+    const double f = r[col];
+    if (std::abs(f) < kEps) continue;
+    for (int j = 0; j < stride_; ++j) r[j] -= f * prow[j];
   }
+  const double f = obj_[static_cast<std::size_t>(col)];
+  if (std::abs(f) > kEps) {
+    double* obj = obj_.data();
+    for (int j = 0; j < stride_; ++j) obj[j] -= f * prow[j];
+  }
+  basis_[static_cast<std::size_t>(row)] = col;
+}
 
-  /// After phase 1, pivot any artificial variables out of the basis (or
-  /// detect redundant rows and leave the zero-valued artificial basic).
-  void drive_out_artificials() {
-    for (int i = 0; i < m_; ++i) {
-      if (basis_[static_cast<std::size_t>(i)] < first_artificial_) continue;
-      // Find any non-artificial column with a nonzero entry to pivot in.
-      int col = -1;
-      for (int j = 0; j < first_artificial_; ++j) {
-        if (std::abs(rows_[static_cast<std::size_t>(i)]
-                          [static_cast<std::size_t>(j)]) > 1e-7) {
+/// Pivot loop. `price_limit` bounds the entering-column scan: n_ in
+/// phase 1 (every column is a candidate), first_artificial_ in phase 2
+/// (artificials may not re-enter). Returns false on unboundedness.
+bool LpSolver::optimize(int price_limit) {
+  const int max_iters = 200 * (m_ + n_ + 10);
+  int iters = 0;
+  bool bland = false;
+  const double* obj = obj_.data();
+  while (true) {
+    if (++iters > max_iters) {
+      bland = true;  // enforce termination
+    }
+    // Entering column: positive reduced cost (maximization). Dantzig
+    // pricing normally; Bland's smallest-index rule once the iteration
+    // budget is exhausted (anti-cycling).
+    int col = -1;
+    double best = kEps;
+    if (bland) {
+      for (int j = 0; j < price_limit; ++j) {
+        if (obj[j] > kEps) {
           col = j;
           break;
         }
       }
-      if (col >= 0) pivot(i, col);
-      // Otherwise the row is redundant; the artificial stays basic at 0.
+    } else {
+      for (int j = 0; j < price_limit; ++j) {
+        if (obj[j] > best) {
+          best = obj[j];
+          col = j;
+        }
+      }
     }
+    if (col < 0) return true;  // optimal
+
+    // Ratio test: smallest rhs/a over rows with a > 0; ties broken toward
+    // the smallest basic index (lexicographic guard against stalling).
+    int row = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m_; ++i) {
+      const double* r = tab_.row(i);
+      const double a = r[col];
+      if (a > kEps) {
+        const double ratio = r[n_] / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && row >= 0 &&
+             basis_[static_cast<std::size_t>(i)] <
+                 basis_[static_cast<std::size_t>(row)])) {
+          best_ratio = ratio;
+          row = i;
+        }
+      }
+    }
+    if (row < 0) return false;  // unbounded
+    pivot(row, col);
   }
+}
 
-  int m_ = 0;
-  int n_orig_ = 0;
-  int n_ = 0;
-  int first_artificial_ = 0;
-  std::vector<std::vector<double>> rows_;
-  std::vector<double> obj_;
-  std::vector<int> basis_;
-};
+/// After phase 1, pivot any artificial variables out of the basis (or
+/// detect redundant rows and leave the zero-valued artificial basic).
+void LpSolver::drive_out_artificials() {
+  for (int i = 0; i < m_; ++i) {
+    if (basis_[static_cast<std::size_t>(i)] < first_artificial_) continue;
+    // Find any non-artificial column with a nonzero entry to pivot in.
+    const double* r = tab_.row(i);
+    int col = -1;
+    for (int j = 0; j < first_artificial_; ++j) {
+      if (std::abs(r[j]) > 1e-7) {
+        col = j;
+        break;
+      }
+    }
+    if (col >= 0) pivot(i, col);
+    // Otherwise the row is redundant; the artificial stays basic at 0.
+  }
+}
 
-}  // namespace
-
-LpSolution solve_lp(const LpProblem& problem) {
+LpSolution LpSolver::finish(const LpProblem& problem, LpStatus st) {
   LpSolution sol;
-  if (problem.num_vars <= 0) {
-    sol.status = LpStatus::kOptimal;
-    sol.objective = 0.0;
-    return sol;
-  }
-  Tableau t(problem);
-  if (!t.phase1()) {
-    sol.status = LpStatus::kInfeasible;
-    return sol;
-  }
-  const LpStatus st = t.phase2(problem.objective);
   sol.status = st;
   if (st == LpStatus::kOptimal) {
-    sol.x = t.solution();
+    sol.x.assign(static_cast<std::size_t>(n_orig_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[static_cast<std::size_t>(i)];
+      if (b >= 0 && b < n_orig_)
+        sol.x[static_cast<std::size_t>(b)] = tab_(i, n_);
+    }
     sol.objective = 0.0;
     for (int j = 0;
          j < problem.num_vars && j < static_cast<int>(problem.objective.size());
@@ -262,6 +254,56 @@ LpSolution solve_lp(const LpProblem& problem) {
     }
   }
   return sol;
+}
+
+LpSolution LpSolver::solve(const LpProblem& problem) {
+  basis_cached_ = false;
+  LpSolution sol;
+  if (problem.num_vars <= 0) {
+    sol.status = LpStatus::kOptimal;
+    sol.objective = 0.0;
+    return sol;
+  }
+  if (problem.coeffs.rows() > 0 && problem.coeffs.cols() != problem.num_vars)
+    throw std::invalid_argument("LP constraint arity mismatch");
+  // coeffs/rels/rhs are independent public members; a hand-built problem
+  // can desynchronize them, and load() indexes rels/rhs by coeffs row.
+  if (static_cast<int>(problem.rels.size()) != problem.num_constraints() ||
+      static_cast<int>(problem.rhs.size()) != problem.num_constraints())
+    throw std::invalid_argument("LP rels/rhs size != constraint rows");
+  load(problem);
+  if (!phase1()) {
+    sol.status = LpStatus::kInfeasible;
+    return sol;
+  }
+  const LpStatus st = phase2(problem.objective);
+  if (st == LpStatus::kOptimal) {
+    // Remember the optimal basis (plus a cheap constraint fingerprint)
+    // for resolve_objective() warm restarts.
+    basis_cached_ = true;
+    cached_rels_ = problem.rels;
+    cached_rhs_ = problem.rhs;
+  }
+  return finish(problem, st);
+}
+
+LpSolution LpSolver::resolve_objective(const LpProblem& problem) {
+  if (!basis_cached_ || problem.num_vars != n_orig_ ||
+      problem.num_constraints() != m_ || problem.rels != cached_rels_ ||
+      problem.rhs != cached_rhs_) {
+    return solve(problem);  // shape changed (or nothing cached): cold path
+  }
+  // The tableau rows encode the current basis independently of the
+  // objective; rebuilding the reduced-cost row against the new objective
+  // and re-running phase 2 restarts from the previous optimum.
+  const LpStatus st = phase2(problem.objective);
+  if (st != LpStatus::kOptimal) basis_cached_ = false;
+  return finish(problem, st);
+}
+
+LpSolution solve_lp(const LpProblem& problem) {
+  LpSolver solver;
+  return solver.solve(problem);
 }
 
 }  // namespace meshopt

@@ -1,5 +1,5 @@
 #pragma once
-// Dense two-phase simplex LP solver.
+// Dense two-phase simplex LP solver on a flat row-major tableau.
 //
 // Scope: the optimizer's problems are small (tens of links, a few flows,
 // up to a few hundred extreme points), so a dense tableau with Dantzig
@@ -7,40 +7,136 @@
 //
 // Problem form: maximize c.x subject to a set of <=, =, >= constraints and
 // x >= 0.
+//
+// Layout: constraint coefficients and the working tableau live in a
+// DenseMatrix (one contiguous buffer, stride = column count), so the
+// simplex inner loops — pricing, ratio test, pivot row updates — stream
+// over contiguous memory instead of chasing one heap allocation per row
+// as the previous vector<vector<double>> representation did.
+//
+// Determinism: for a given LpProblem the pivot sequence, and therefore
+// every reported value (objective, x, status), is identical to the
+// historical nested-vector implementation bit for bit
+// (tests/test_simplex.cpp, ReferenceSimplex suite).
 
 #include <cstdint>
 #include <vector>
 
+#include "util/dense_matrix.h"
+
 namespace meshopt {
 
+/// Terminal state of an LP solve.
 enum class LpStatus : std::uint8_t { kOptimal, kInfeasible, kUnbounded };
 
+/// Constraint sense: a.x <= b, a.x == b, or a.x >= b.
 enum class Relation : std::uint8_t { kLe, kEq, kGe };
 
-struct LpConstraint {
-  std::vector<double> coeffs;  ///< length = num_vars
-  Relation rel = Relation::kLe;
-  double rhs = 0.0;
-};
-
+/// A linear program in the solver's native form:
+///
+///   maximize objective . x
+///   subject to coeffs.row(i) . x  (rels[i])  rhs[i]   for every row i,
+///              x >= 0.
+///
+/// Constraint rows are stored flat in a DenseMatrix with num_vars columns.
+/// All quantities are unitless to the solver; the network optimizer feeds
+/// it capacities normalized to ~1 (see NetworkOptimizer) for conditioning.
 struct LpProblem {
-  int num_vars = 0;
-  std::vector<double> objective;  ///< maximize objective . x
-  std::vector<LpConstraint> constraints;
+  int num_vars = 0;               ///< number of decision variables (columns)
+  std::vector<double> objective;  ///< length num_vars; maximize objective.x
+  DenseMatrix coeffs;             ///< num_constraints() x num_vars
+  std::vector<Relation> rels;     ///< per-row constraint sense
+  std::vector<double> rhs;        ///< per-row right-hand side
 
-  LpConstraint& add_constraint(std::vector<double> coeffs, Relation rel,
-                               double rhs) {
-    constraints.push_back({std::move(coeffs), rel, rhs});
-    return constraints.back();
-  }
+  [[nodiscard]] int num_constraints() const { return coeffs.rows(); }
+
+  /// Append a zero-filled constraint row and return its coefficient
+  /// pointer (num_vars elements) for in-place fill. The preferred builder
+  /// on hot paths: no per-row vector allocation.
+  /// @pre num_vars is final (adding rows pins the column count).
+  double* add_row(Relation rel, double rhs_value);
+
+  /// Append a constraint from a coefficient vector (copying convenience
+  /// builder; use add_row() on hot paths).
+  /// @pre coeffs_row.size() == num_vars.
+  void add_constraint(const std::vector<double>& coeffs_row, Relation rel,
+                      double rhs_value);
 };
 
+/// Result of an LP solve. `x` and `objective` are meaningful only when
+/// status == kOptimal.
 struct LpSolution {
   LpStatus status = LpStatus::kInfeasible;
-  double objective = 0.0;
-  std::vector<double> x;
+  double objective = 0.0;         ///< objective . x at the optimum
+  std::vector<double> x;          ///< length num_vars, all >= 0
 };
 
+/// Reusable two-phase simplex solver.
+///
+/// The solver owns its tableau workspace (flat DenseMatrix + objective
+/// row + basis). Solving a problem of the same or smaller shape as a
+/// previous call reuses the buffers without reallocating, which matters
+/// when a caller (Frank–Wolfe, max-min water-filling) issues hundreds of
+/// solves over identically-shaped problems.
+///
+/// Not thread-safe: use one LpSolver per thread.
+class LpSolver {
+ public:
+  /// Solve `problem` from scratch (phase 1 + phase 2).
+  ///
+  /// @pre  problem.objective.size() >= effective use (missing trailing
+  ///       objective coefficients are treated as 0).
+  /// @pre  every constraint row has exactly problem.num_vars coefficients
+  ///       (guaranteed by the LpProblem builders).
+  /// @post on kOptimal: solution.x.size() == num_vars, x >= 0, and
+  ///       solution.objective == objective . x recomputed in input scale.
+  [[nodiscard]] LpSolution solve(const LpProblem& problem);
+
+  /// Warm re-solve: re-optimize under a NEW objective over the SAME
+  /// constraints as the previous solve() / resolve_objective() call,
+  /// restarting phase 2 from the cached optimal basis. This is the fast
+  /// path for objective-only sequences — the Frank–Wolfe LP oracle and
+  /// the max-min push solves — where the previous optimum is typically a
+  /// few pivots from the new one, versus a full phase-1 + phase-2 rebuild.
+  ///
+  /// @pre  `problem`'s constraint rows (coeffs, rels, rhs) are identical
+  ///       to the previously solved problem's; only `objective` may
+  ///       differ. Shape mismatches (num_vars, row count, rels, rhs) are
+  ///       detected and fall back to a cold solve(); coefficient-value
+  ///       mismatches are NOT detected and yield garbage — the caller
+  ///       owns that invariant.
+  /// @post same as solve(). The result is an exact LP optimum (identical
+  ///       objective value up to floating-point associativity; a
+  ///       different-but-equally-optimal vertex may be reported when the
+  ///       optimum face is degenerate).
+  [[nodiscard]] LpSolution resolve_objective(const LpProblem& problem);
+
+ private:
+  void load(const LpProblem& p);
+  [[nodiscard]] LpSolution finish(const LpProblem& problem, LpStatus st);
+  [[nodiscard]] bool phase1();
+  [[nodiscard]] LpStatus phase2(const std::vector<double>& c);
+  void make_reduced_costs_consistent();
+  void pivot(int row, int col);
+  [[nodiscard]] bool optimize(int price_limit);
+  void drive_out_artificials();
+
+  int m_ = 0;                ///< constraint rows
+  int n_orig_ = 0;           ///< original (caller) variables
+  int n_ = 0;                ///< total columns incl. slack/artificial
+  int first_artificial_ = 0; ///< first artificial column index
+  int stride_ = 0;           ///< tableau row stride: n_ + 1 padded to 8
+                             ///< doubles (64 B) so rows are SIMD-aligned
+  bool basis_cached_ = false;  ///< feasible basis available for warm solves
+  DenseMatrix tab_;          ///< m_ x stride_; column n_ is the RHS,
+                             ///< columns beyond it stay exactly 0
+  std::vector<double> obj_;  ///< reduced-cost row, length stride_
+  std::vector<int> basis_;   ///< basic variable per row
+  std::vector<Relation> cached_rels_;  ///< fingerprint for warm-solve guard
+  std::vector<double> cached_rhs_;     ///< fingerprint for warm-solve guard
+};
+
+/// One-shot convenience wrapper: constructs a fresh LpSolver and solves.
 [[nodiscard]] LpSolution solve_lp(const LpProblem& problem);
 
 }  // namespace meshopt

@@ -11,19 +11,32 @@
 
 namespace meshopt {
 
+/// Strictly concave alpha-fair utility U(y) over a flow rate y.
+///
+/// The rate argument is whatever scale the caller optimizes in — the
+/// network optimizer feeds rates normalized to ~[0, 1] (bits/s divided by
+/// the largest link capacity) for conditioning; utility values are then
+/// dimensionless scores, comparable only within one optimization run.
 class AlphaFairUtility {
  public:
+  /// @param alpha fairness exponent, >= 0 (0 = throughput, 1 =
+  ///        proportional fairness, larger = closer to max-min).
+  /// @param floor rates below this are clamped before evaluation so
+  ///        U and U' stay finite near 0 (log/pow blow up there).
   explicit AlphaFairUtility(double alpha, double floor = 1e-9)
       : alpha_(alpha), floor_(floor) {}
 
   [[nodiscard]] double alpha() const { return alpha_; }
 
+  /// U(max(y, floor)).
   [[nodiscard]] double value(double y) const {
     y = y > floor_ ? y : floor_;
     if (alpha_ == 1.0) return std::log(y);
     return std::pow(y, 1.0 - alpha_) / (1.0 - alpha_);
   }
 
+  /// U'(max(y, floor)) = y^-alpha; always positive and decreasing, which
+  /// is what the Frank–Wolfe oracle relies on.
   [[nodiscard]] double gradient(double y) const {
     y = y > floor_ ? y : floor_;
     return std::pow(y, -alpha_);

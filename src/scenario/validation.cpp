@@ -118,19 +118,20 @@ ValidationRun run_network_validation(const ValidationConfig& cfg) {
 
   // Phase 2: optimize proportional-fair targets.
   OptimizerInput in;
-  in.extreme_points = build_extreme_points(capacities, conflicts);
-  in.routing.assign(links.size(), std::vector<double>(paths.size(), 0.0));
+  in.extreme_points = build_extreme_point_matrix(capacities, conflicts);
+  in.routing = DenseMatrix(static_cast<int>(links.size()),
+                           static_cast<int>(paths.size()));
   for (std::size_t s = 0; s < paths.size(); ++s) {
     for (std::size_t h = 0; h + 1 < paths[s].size(); ++h) {
       const int li = link_index(paths[s][h], paths[s][h + 1]);
-      if (li >= 0) in.routing[static_cast<std::size_t>(li)][s] = 1.0;
+      if (li >= 0) in.routing(li, static_cast<int>(s)) = 1.0;
     }
   }
   OptimizerConfig oc;
   oc.objective = Objective::kProportionalFair;
   const OptimizerResult opt = optimize_rates(in, oc);
   if (!opt.ok) return run;
-  run.extreme_points = static_cast<int>(in.extreme_points.size());
+  run.extreme_points = in.extreme_points.rows();
 
   // x_s = y_s / (1 - p_s), path loss composed from UDP-level link losses.
   std::vector<double> inputs(paths.size(), 0.0);

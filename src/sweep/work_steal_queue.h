@@ -1,0 +1,87 @@
+#pragma once
+// Chase–Lev-style work-stealing deque of job indices, specialized for the
+// sweep pool's "fill once, drain concurrently" pattern.
+//
+// The general Chase–Lev structure supports concurrent owner pushes; the
+// sweep pool never needs them — every run's job list is known up front —
+// so the deque here is bounded and filled by the coordinating thread
+// BEFORE workers are released (the pool's epoch handshake publishes the
+// fill). After that only two operations run concurrently:
+//   * pop():   the owning worker removes from the bottom (LIFO),
+//   * steal(): any other worker removes from the top (FIFO).
+// They may race on the last remaining element; the seq-cst fence + CAS
+// protocol of Chase & Lev (SPAA 2005), with the memory orders of
+// Lê et al. (PPoPP 2013), guarantees each element is handed out exactly
+// once. With no concurrent push there is no buffer-reuse ABA to defend
+// against, so indices never wrap and the buffer is a plain vector.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace meshopt {
+
+/// Fixed-content single-owner work-stealing deque of ints.
+class WorkStealQueue {
+ public:
+  /// Replace the contents with `count` values from `src`. Must only be
+  /// called while no worker is popping/stealing (between pool epochs);
+  /// the caller's release of the pool mutex publishes the fill.
+  void fill(const int* src, int count) {
+    buf_.assign(src, src + count);
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(count, std::memory_order_relaxed);
+  }
+
+  /// Owner-side removal from the bottom. Returns false when the deque is
+  /// empty (or the last element was lost to a concurrent steal).
+  bool pop(int& out) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      out = buf_[static_cast<std::size_t>(b)];
+      if (t == b) {
+        // Last element: race the thieves for it.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return won;
+      }
+      return true;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Thief-side steal() outcome. kEmpty is definitive: the queue had no
+  /// stealable element at the snapshot, and (since nothing is pushed
+  /// after the pre-run fill) it never will again. kLost means the CAS
+  /// race went to a concurrent pop/steal — someone else made progress,
+  /// so the caller should rescan rather than conclude the sweep drained.
+  enum class Steal : std::uint8_t { kGot, kEmpty, kLost };
+
+  /// Thief-side removal from the top.
+  Steal steal(int& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t < b) {
+      out = buf_[static_cast<std::size_t>(t)];
+      return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)
+                 ? Steal::kGot
+                 : Steal::kLost;
+    }
+    return Steal::kEmpty;
+  }
+
+ private:
+  std::vector<int> buf_;
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace meshopt

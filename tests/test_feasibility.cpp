@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
 #include "model/two_link_analysis.h"
 #include "util/rng.h"
 
@@ -85,9 +89,49 @@ TEST(ExtremePoints, RegionFromCliqueIsTimeSharing) {
   for (int i = 0; i < 3; ++i)
     for (int j = i + 1; j < 3; ++j) g.add_conflict(i, j);
   const std::vector<double> caps{1.0, 2.0, 4.0};
-  FeasibilityRegion r{build_extreme_points(caps, g)};
+  FeasibilityRegion r{build_extreme_point_matrix(caps, g)};
   EXPECT_TRUE(r.contains({0.5, 0.5, 1.0}));   // 0.5+0.25+0.25 = 1
   EXPECT_FALSE(r.contains({0.5, 0.5, 1.3}));  // > 1
+}
+
+TEST(ExtremePoints, MatrixBridgeMatchesNestedPathAsSets) {
+  // The DenseMatrix bridge emits rows in enumeration order; the legacy
+  // nested path emits sorted sets. Same rows, possibly permuted.
+  RngStream rng(11, "bridge");
+  ConflictGraph g(10);
+  for (int i = 0; i < 10; ++i)
+    for (int j = i + 1; j < 10; ++j)
+      if (rng.bernoulli(0.4)) g.add_conflict(i, j);
+  std::vector<double> caps;
+  for (int i = 0; i < 10; ++i) caps.push_back(rng.uniform(0.5, 5.0));
+
+  const DenseMatrix m = build_extreme_point_matrix(caps, g);
+  auto nested = build_extreme_points(caps, g);
+  ASSERT_EQ(m.rows(), static_cast<int>(nested.size()));
+  ASSERT_EQ(m.cols(), 10);
+  auto from_matrix = m.to_nested();
+  std::sort(from_matrix.begin(), from_matrix.end());
+  std::sort(nested.begin(), nested.end());
+  EXPECT_EQ(from_matrix, nested);
+}
+
+TEST(ExtremePoints, MatrixBridgeRespectsCap) {
+  ConflictGraph g(8);  // no conflicts: exactly one MIS
+  const DenseMatrix all = build_extreme_point_matrix(
+      std::vector<double>(8, 1.0), g);
+  EXPECT_EQ(all.rows(), 1);
+  // 4 disjoint conflicting pairs: 2^4 = 16 maximal independent sets.
+  ConflictGraph pairs(8);
+  for (int i = 0; i < 8; i += 2) pairs.add_conflict(i, i + 1);
+  const DenseMatrix capped = build_extreme_point_matrix(
+      std::vector<double>(8, 1.0), pairs, /*cap=*/5);
+  EXPECT_EQ(capped.rows(), 5);
+}
+
+TEST(ExtremePoints, MatrixBridgeCapacitySizeMismatchThrows) {
+  ConflictGraph g(3);
+  EXPECT_THROW(build_extreme_point_matrix({1.0, 2.0}, g),
+               std::invalid_argument);
 }
 
 // Property: scaling any member by max_scaling lands on the boundary.
@@ -97,11 +141,9 @@ TEST_P(ScalingProperty, ScaledLoadIsBoundary) {
   RngStream rng(static_cast<std::uint64_t>(GetParam()), "feas");
   const int links = rng.uniform_int(2, 5);
   const int pts = rng.uniform_int(2, 6);
-  std::vector<std::vector<double>> extreme(
-      static_cast<std::size_t>(pts),
-      std::vector<double>(static_cast<std::size_t>(links)));
-  for (auto& p : extreme)
-    for (auto& v : p) v = rng.uniform(0.0, 10.0);
+  DenseMatrix extreme(pts, links);
+  for (int p = 0; p < pts; ++p)
+    for (int l = 0; l < links; ++l) extreme(p, l) = rng.uniform(0.0, 10.0);
   FeasibilityRegion r{extreme};
 
   std::vector<double> load(static_cast<std::size_t>(links));

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "util/stats.h"
 
@@ -131,13 +132,14 @@ TEST(Optimizer, RespectsFeasibilityRegion) {
     const OptimizerInput in = parking_lot();
     const auto r = optimize_rates(in, {.objective = obj});
     ASSERT_TRUE(r.ok);
-    for (std::size_t l = 0; l < in.routing.size(); ++l) {
+    for (int l = 0; l < in.routing.rows(); ++l) {
       double load = 0.0;
       for (std::size_t f = 0; f < r.y.size(); ++f)
-        load += in.routing[l][f] * r.y[f];
+        load += in.routing(l, static_cast<int>(f)) * r.y[f];
       double budget = 0.0;
-      for (std::size_t k = 0; k < in.extreme_points.size(); ++k)
-        budget += r.alpha_weights[k] * in.extreme_points[k][l];
+      for (int k = 0; k < in.extreme_points.rows(); ++k)
+        budget += r.alpha_weights[static_cast<std::size_t>(k)] *
+                  in.extreme_points(k, l);
       EXPECT_LE(load, budget + 1e-5);
     }
     double wsum = 0.0;
@@ -173,10 +175,57 @@ TEST(Optimizer, EmptyInputsRejected) {
 }
 
 TEST(Optimizer, RaggedRoutingThrows) {
+  // Ragged rows can no longer reach the optimizer: the DenseMatrix
+  // builder rejects them at construction.
+  EXPECT_THROW((DenseMatrix{{1.0, 1.0}, {1.0}}), std::invalid_argument);
+}
+
+TEST(Optimizer, ExtremePointLinkMismatchThrows) {
   OptimizerInput in;
-  in.routing = {{1.0, 1.0}, {1.0}};
-  in.extreme_points = {{1.0, 1.0}};
+  in.routing = {{1.0, 1.0}};          // 1 link
+  in.extreme_points = {{1.0, 1.0}};   // but 2-link extreme points
   EXPECT_THROW(optimize_rates(in, {}), std::invalid_argument);
+}
+
+TEST(Optimizer, SingleExtremePointSingleFlow) {
+  // Degenerate-but-valid smallest problem: K = 1, S = 1, L = 1.
+  OptimizerInput in;
+  in.routing = {{1.0}};
+  in.extreme_points = {{2.0}};
+  for (Objective obj : {Objective::kMaxThroughput, Objective::kMaxMin,
+                        Objective::kProportionalFair}) {
+    const auto r = optimize_rates(in, {.objective = obj});
+    ASSERT_TRUE(r.ok);
+    ASSERT_EQ(r.y.size(), 1u);
+    EXPECT_NEAR(r.y[0], 2.0, 1e-3);
+    ASSERT_EQ(r.alpha_weights.size(), 1u);
+    EXPECT_NEAR(r.alpha_weights[0], 1.0, 1e-6);
+  }
+}
+
+TEST(Optimizer, NoExtremePointsReturnsNotOk) {
+  OptimizerInput in;
+  in.routing = {{1.0, 1.0}};
+  // extreme_points left empty: K = 0 is degenerate, not an error.
+  const auto r = optimize_rates(in, {});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Optimizer, ReusedInstanceMatchesFreshSolves) {
+  // A NetworkOptimizer reused across rounds (the controller pattern) must
+  // return exactly what one-shot solves return, shape changes included.
+  NetworkOptimizer reused({.objective = Objective::kMaxThroughput});
+  const std::vector<OptimizerInput> inputs = {
+      shared_link_two_flows(), parking_lot(), shared_link_two_flows()};
+  for (const OptimizerInput& in : inputs) {
+    const auto a = reused.solve(in);
+    const auto b =
+        optimize_rates(in, {.objective = Objective::kMaxThroughput});
+    ASSERT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.y, b.y);
+    EXPECT_EQ(a.alpha_weights, b.alpha_weights);
+    EXPECT_EQ(a.objective_value, b.objective_value);
+  }
 }
 
 TEST(Optimizer, TcpAckFactorMatchesPaperFormula) {
@@ -189,8 +238,9 @@ TEST(Optimizer, TcpAckFactorMatchesPaperFormula) {
 TEST(Optimizer, BitsPerSecondScaleRobustness) {
   // Same problem expressed in bits/s (1e6 scale): results scale linearly.
   OptimizerInput in = parking_lot();
-  for (auto& p : in.extreme_points)
-    for (auto& c : p) c *= 1e6;
+  for (int k = 0; k < in.extreme_points.rows(); ++k)
+    for (int l = 0; l < in.extreme_points.cols(); ++l)
+      in.extreme_points(k, l) *= 1e6;
   const auto r =
       optimize_rates(in, {.objective = Objective::kProportionalFair});
   ASSERT_TRUE(r.ok);

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
 #include "util/rng.h"
 
 namespace meshopt {
@@ -163,8 +168,10 @@ TEST_P(RandomLp, MatchesGridSearch) {
       const double x = 10.0 * i / grid;
       const double y = 10.0 * j / grid;
       bool ok = true;
-      for (const auto& c : lp.constraints) {
-        if (c.coeffs[0] * x + c.coeffs[1] * y > c.rhs + 1e-9) ok = false;
+      for (int ci = 0; ci < lp.num_constraints(); ++ci) {
+        const double* c = lp.coeffs.row(ci);
+        if (c[0] * x + c[1] * y > lp.rhs[static_cast<std::size_t>(ci)] + 1e-9)
+          ok = false;
       }
       if (ok) best = std::max(best, lp.objective[0] * x + lp.objective[1] * y);
     }
@@ -174,6 +181,343 @@ TEST_P(RandomLp, MatchesGridSearch) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomLp, ::testing::Range(1, 13));
+
+TEST(Simplex, BealeCyclingExampleTerminatesAtOptimum) {
+  // Beale's classic degenerate LP: Dantzig pricing cycles forever without
+  // an anti-cycling rule. The solver must fall back to Bland's rule and
+  // land on the optimum 1/20.
+  LpProblem lp;
+  lp.num_vars = 4;
+  lp.objective = {0.75, -150.0, 0.02, -6.0};
+  lp.add_constraint({0.25, -60.0, -0.04, 9.0}, Relation::kLe, 0.0);
+  lp.add_constraint({0.5, -90.0, -0.02, 3.0}, Relation::kLe, 0.0);
+  lp.add_constraint({0.0, 0.0, 1.0, 0.0}, Relation::kLe, 1.0);
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.05, 1e-9);
+}
+
+TEST(Simplex, SolverWorkspaceReuseMatchesFreshSolver) {
+  // An LpSolver re-used across differently-shaped problems must return
+  // exactly what a fresh solver returns for each of them.
+  LpSolver reused;
+  RngStream rng(7, "lp-reuse");
+  for (int round = 0; round < 20; ++round) {
+    LpProblem lp;
+    lp.num_vars = rng.uniform_int(1, 5);
+    lp.objective.clear();
+    for (int j = 0; j < lp.num_vars; ++j)
+      lp.objective.push_back(rng.uniform(0.1, 2.0));
+    const int rows = rng.uniform_int(1, 6);
+    for (int i = 0; i < rows; ++i) {
+      std::vector<double> c;
+      for (int j = 0; j < lp.num_vars; ++j) c.push_back(rng.uniform(0.1, 1.0));
+      lp.add_constraint(c, Relation::kLe, rng.uniform(1.0, 10.0));
+    }
+    const auto a = reused.solve(lp);
+    const auto b = solve_lp(lp);
+    ASSERT_EQ(a.status, b.status) << "round " << round;
+    EXPECT_EQ(a.objective, b.objective) << "round " << round;
+    EXPECT_EQ(a.x, b.x) << "round " << round;
+  }
+}
+
+// ------------------------------------------------------------------------
+// Bit-identical regression against the historical nested-vector tableau.
+//
+// ReferenceTableau below is a verbatim copy of the seed implementation
+// (vector<vector<double>> rows, -inf artificial sentinels). The flat
+// DenseMatrix rewrite must reproduce its pivot sequence exactly, so
+// status, objective and every solution coordinate compare EQ — not NEAR —
+// on randomized problems shaped like the optimizer's (fig03/fig04-scale
+// rate-region LPs included).
+
+namespace reference {
+
+constexpr double kEps = 1e-9;
+
+class ReferenceTableau {
+ public:
+  ReferenceTableau(const LpProblem& p) {
+    m_ = p.num_constraints();
+    n_orig_ = p.num_vars;
+    int slack = 0, artificial = 0;
+    for (int i = 0; i < m_; ++i) {
+      const Relation rel =
+          p.rhs[std::size_t(i)] < 0.0 ? flip(p.rels[std::size_t(i)])
+                                      : p.rels[std::size_t(i)];
+      if (rel == Relation::kLe) {
+        ++slack;
+      } else if (rel == Relation::kGe) {
+        ++slack;
+        ++artificial;
+      } else {
+        ++artificial;
+      }
+    }
+    n_ = n_orig_ + slack + artificial;
+    first_artificial_ = n_ - artificial;
+    rows_.assign(std::size_t(m_), std::vector<double>(std::size_t(n_) + 1, 0.0));
+    basis_.assign(std::size_t(m_), -1);
+    int next_slack = n_orig_;
+    int next_art = first_artificial_;
+    for (int i = 0; i < m_; ++i) {
+      const double sign = p.rhs[std::size_t(i)] < 0.0 ? -1.0 : 1.0;
+      const Relation rel =
+          p.rhs[std::size_t(i)] < 0.0 ? flip(p.rels[std::size_t(i)])
+                                      : p.rels[std::size_t(i)];
+      auto& row = rows_[std::size_t(i)];
+      for (int j = 0; j < n_orig_; ++j)
+        row[std::size_t(j)] = sign * p.coeffs(i, j);
+      row[std::size_t(n_)] = sign * p.rhs[std::size_t(i)];
+      if (rel == Relation::kLe) {
+        row[std::size_t(next_slack)] = 1.0;
+        basis_[std::size_t(i)] = next_slack++;
+      } else if (rel == Relation::kGe) {
+        row[std::size_t(next_slack++)] = -1.0;
+        row[std::size_t(next_art)] = 1.0;
+        basis_[std::size_t(i)] = next_art++;
+      } else {
+        row[std::size_t(next_art)] = 1.0;
+        basis_[std::size_t(i)] = next_art++;
+      }
+    }
+  }
+
+  [[nodiscard]] bool phase1() {
+    if (first_artificial_ == n_) return true;
+    obj_.assign(std::size_t(n_) + 1, 0.0);
+    for (int j = first_artificial_; j < n_; ++j) obj_[std::size_t(j)] = -1.0;
+    make_reduced_costs_consistent();
+    if (!optimize()) return false;
+    if (obj_[std::size_t(n_)] > 1e-7) return false;
+    drive_out_artificials();
+    return true;
+  }
+
+  [[nodiscard]] LpStatus phase2(const std::vector<double>& c) {
+    obj_.assign(std::size_t(n_) + 1, 0.0);
+    for (int j = 0; j < n_orig_ && j < static_cast<int>(c.size()); ++j)
+      obj_[std::size_t(j)] = c[std::size_t(j)];
+    for (int j = first_artificial_; j < n_; ++j)
+      obj_[std::size_t(j)] = -std::numeric_limits<double>::infinity();
+    make_reduced_costs_consistent();
+    return optimize() ? LpStatus::kOptimal : LpStatus::kUnbounded;
+  }
+
+  [[nodiscard]] std::vector<double> solution() const {
+    std::vector<double> x(std::size_t(n_orig_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[std::size_t(i)];
+      if (b >= 0 && b < n_orig_)
+        x[std::size_t(b)] = rows_[std::size_t(i)][std::size_t(n_)];
+    }
+    return x;
+  }
+
+ private:
+  static Relation flip(Relation r) {
+    if (r == Relation::kLe) return Relation::kGe;
+    if (r == Relation::kGe) return Relation::kLe;
+    return Relation::kEq;
+  }
+
+  void make_reduced_costs_consistent() {
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[std::size_t(i)];
+      const double coef = obj_[std::size_t(b)];
+      if (std::abs(coef) < kEps || std::isinf(coef)) {
+        if (std::isinf(coef)) obj_[std::size_t(b)] = 0.0;
+        continue;
+      }
+      const auto& row = rows_[std::size_t(i)];
+      for (int j = 0; j <= n_; ++j)
+        obj_[std::size_t(j)] -= coef * row[std::size_t(j)];
+    }
+  }
+
+  void pivot(int row, int col) {
+    auto& prow = rows_[std::size_t(row)];
+    const double pv = prow[std::size_t(col)];
+    for (double& v : prow) v /= pv;
+    for (int i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      auto& r = rows_[std::size_t(i)];
+      const double f = r[std::size_t(col)];
+      if (std::abs(f) < kEps) continue;
+      for (int j = 0; j <= n_; ++j)
+        r[std::size_t(j)] -= f * prow[std::size_t(j)];
+    }
+    const double f = obj_[std::size_t(col)];
+    if (std::abs(f) > kEps && !std::isinf(f)) {
+      for (int j = 0; j <= n_; ++j)
+        obj_[std::size_t(j)] -= f * prow[std::size_t(j)];
+    }
+    basis_[std::size_t(row)] = col;
+  }
+
+  [[nodiscard]] bool optimize() {
+    const int max_iters = 200 * (m_ + n_ + 10);
+    int iters = 0;
+    bool bland = false;
+    while (true) {
+      if (++iters > max_iters) bland = true;
+      int col = -1;
+      double best = kEps;
+      for (int j = 0; j < n_; ++j) {
+        const double rc = obj_[std::size_t(j)];
+        if (std::isinf(rc)) continue;
+        if (bland) {
+          if (rc > kEps) {
+            col = j;
+            break;
+          }
+        } else if (rc > best) {
+          best = rc;
+          col = j;
+        }
+      }
+      if (col < 0) return true;
+      int row = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        const double a = rows_[std::size_t(i)][std::size_t(col)];
+        if (a > kEps) {
+          const double ratio = rows_[std::size_t(i)][std::size_t(n_)] / a;
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps && row >= 0 &&
+               basis_[std::size_t(i)] < basis_[std::size_t(row)])) {
+            best_ratio = ratio;
+            row = i;
+          }
+        }
+      }
+      if (row < 0) return false;
+      pivot(row, col);
+    }
+  }
+
+  void drive_out_artificials() {
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[std::size_t(i)] < first_artificial_) continue;
+      int col = -1;
+      for (int j = 0; j < first_artificial_; ++j) {
+        if (std::abs(rows_[std::size_t(i)][std::size_t(j)]) > 1e-7) {
+          col = j;
+          break;
+        }
+      }
+      if (col >= 0) pivot(i, col);
+    }
+  }
+
+  int m_ = 0, n_orig_ = 0, n_ = 0, first_artificial_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> obj_;
+  std::vector<int> basis_;
+};
+
+LpSolution solve_lp_reference(const LpProblem& problem) {
+  LpSolution sol;
+  if (problem.num_vars <= 0) {
+    sol.status = LpStatus::kOptimal;
+    sol.objective = 0.0;
+    return sol;
+  }
+  ReferenceTableau t(problem);
+  if (!t.phase1()) {
+    sol.status = LpStatus::kInfeasible;
+    return sol;
+  }
+  const LpStatus st = t.phase2(problem.objective);
+  sol.status = st;
+  if (st == LpStatus::kOptimal) {
+    sol.x = t.solution();
+    sol.objective = 0.0;
+    for (int j = 0;
+         j < problem.num_vars && j < static_cast<int>(problem.objective.size());
+         ++j)
+      sol.objective +=
+          problem.objective[std::size_t(j)] * sol.x[std::size_t(j)];
+  }
+  return sol;
+}
+
+}  // namespace reference
+
+void expect_bit_identical(const LpProblem& lp, const char* what) {
+  const LpSolution now = solve_lp(lp);
+  const LpSolution ref = reference::solve_lp_reference(lp);
+  ASSERT_EQ(now.status, ref.status) << what;
+  // EQ, not NEAR: the flat rewrite must preserve the pivot sequence and
+  // the per-element arithmetic order exactly.
+  EXPECT_EQ(now.objective, ref.objective) << what;
+  ASSERT_EQ(now.x.size(), ref.x.size()) << what;
+  for (std::size_t j = 0; j < now.x.size(); ++j)
+    EXPECT_EQ(now.x[j], ref.x[j]) << what << " x[" << j << "]";
+}
+
+class BitIdentical : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitIdentical, RandomMixedRelationLps) {
+  RngStream rng(static_cast<std::uint64_t>(GetParam()), "lp-bits");
+  LpProblem lp;
+  lp.num_vars = rng.uniform_int(2, 6);
+  for (int j = 0; j < lp.num_vars; ++j)
+    lp.objective.push_back(rng.uniform(-1.0, 2.0));
+  const int rows = rng.uniform_int(2, 8);
+  for (int i = 0; i < rows; ++i) {
+    std::vector<double> c;
+    for (int j = 0; j < lp.num_vars; ++j) c.push_back(rng.uniform(-1.0, 1.0));
+    const int kind = rng.uniform_int(0, 5);
+    const Relation rel = kind == 0   ? Relation::kEq
+                         : kind == 1 ? Relation::kGe
+                                     : Relation::kLe;
+    lp.add_constraint(c, rel, rng.uniform(-2.0, 8.0));
+  }
+  // Box to keep most problems bounded (unbounded is a valid shared result).
+  for (int j = 0; j < lp.num_vars; ++j) {
+    std::vector<double> c(static_cast<std::size_t>(lp.num_vars), 0.0);
+    c[static_cast<std::size_t>(j)] = 1.0;
+    lp.add_constraint(c, Relation::kLe, 20.0);
+  }
+  expect_bit_identical(lp, "random mixed LP");
+}
+
+TEST_P(BitIdentical, RateRegionShapedLps) {
+  // The optimizer's base problem at fig03/fig04 scale: L link rows over
+  // (flows + K extreme points) variables plus the convex-weight equality.
+  RngStream rng(static_cast<std::uint64_t>(GetParam()) + 100, "lp-region");
+  const int links = rng.uniform_int(4, 10);
+  const int flows = rng.uniform_int(2, 5);
+  const int points = rng.uniform_int(8, 60);
+  LpProblem lp;
+  lp.num_vars = flows + points;
+  lp.objective.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
+  for (int f = 0; f < flows; ++f)
+    lp.objective[static_cast<std::size_t>(f)] = rng.uniform(0.1, 1.0);
+  for (int l = 0; l < links; ++l) {
+    std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
+    for (int f = 0; f < flows; ++f)
+      row[static_cast<std::size_t>(f)] = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    for (int k = 0; k < points; ++k)
+      row[static_cast<std::size_t>(flows + k)] =
+          rng.bernoulli(0.4) ? -rng.uniform(0.1, 1.0) : 0.0;
+    lp.add_constraint(row, Relation::kLe, 0.0);
+  }
+  std::vector<double> simplex_row(static_cast<std::size_t>(lp.num_vars), 0.0);
+  for (int k = 0; k < points; ++k)
+    simplex_row[static_cast<std::size_t>(flows + k)] = 1.0;
+  lp.add_constraint(simplex_row, Relation::kEq, 1.0);
+  for (int f = 0; f < flows; ++f) {
+    std::vector<double> row(static_cast<std::size_t>(lp.num_vars), 0.0);
+    row[static_cast<std::size_t>(f)] = 1.0;
+    lp.add_constraint(row, Relation::kLe, 1.0);
+  }
+  expect_bit_identical(lp, "rate-region LP");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitIdentical, ::testing::Range(1, 25));
 
 }  // namespace
 }  // namespace meshopt

@@ -97,5 +97,59 @@ TEST(SweepRunner, ThreadCountDefaultsSane) {
   EXPECT_EQ(SweepRunner(5).threads(), 5);
 }
 
+// A job whose cost varies by orders of magnitude across indices: workers
+// with cheap blocks drain early and must steal from the expensive block,
+// so this exercises the pop/steal race paths, not just block execution.
+std::uint64_t uneven_cell(const SweepJob& job) {
+  RngStream rng(job.seed, "uneven");
+  const int spins = (job.index % 16 == 0) ? 20000 : 10;
+  std::uint64_t acc = 0;
+  for (int i = 0; i < spins; ++i) acc += rng.next_u64() >> 32;
+  return acc;
+}
+
+TEST(SweepRunner, StealingWorkersMatchSerialBitForBit) {
+  SweepRunner serial(1);
+  SweepRunner stealing(8);
+  const auto a = serial.run(96, /*master_seed=*/4242, uneven_cell);
+  const auto b = stealing.run(96, /*master_seed=*/4242, uneven_cell);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SweepRunner, PersistentPoolReusedAcrossManySweeps) {
+  // The pool parks between runs; repeated runs on one runner must keep
+  // producing exactly the per-seed results (and tiny sweeps — fewer jobs
+  // than workers — must leave the idle workers unharmed).
+  SweepRunner r(8);
+  const auto expected3 = SweepRunner(1).run(3, 7, uneven_cell);
+  const auto expected50 = SweepRunner(1).run(50, 8, uneven_cell);
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_EQ(r.run(3, 7, uneven_cell), expected3) << round;
+    EXPECT_EQ(r.run(50, 8, uneven_cell), expected50) << round;
+  }
+}
+
+TEST(SweepRunner, ManyTinyJobsAllRunExactlyOnce) {
+  SweepRunner r(8);
+  std::vector<std::atomic<int>> hits(2000);
+  r.run_raw(2000, 13, [&](const SweepJob& job) {
+    hits[std::size_t(job.index)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepRunner, ExceptionDoesNotPoisonThePool) {
+  SweepRunner r(4);
+  EXPECT_THROW(r.run(32, 0,
+                     [](const SweepJob& job) -> int {
+                       if (job.index == 11) throw std::runtime_error("cell");
+                       return job.index;
+                     }),
+               std::runtime_error);
+  // The same pool must still run clean sweeps afterwards.
+  const auto out = r.run(32, 0, [](const SweepJob& job) { return job.index; });
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[std::size_t(i)], i);
+}
+
 }  // namespace
 }  // namespace meshopt

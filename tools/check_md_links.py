@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the repo's markdown files.
+
+Scans every tracked *.md file for inline links/images `[text](target)`
+and checks that relative targets exist on disk (anchors stripped).
+External schemes (http/https/mailto) are ignored. Exit code 1 with a
+report if anything is broken; 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files(root: Path) -> list[Path]:
+    out = []
+    for p in root.rglob("*.md"):
+        if any(part in {".git", "build", "build-bench"} for part in p.parts):
+            continue
+        out.append(p)
+    return sorted(out)
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    broken: list[str] = []
+    checked = 0
+    for md in md_files(root):
+        text = md.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            checked += 1
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                line = text[: match.start()].count("\n") + 1
+                broken.append(f"{md.relative_to(root)}:{line}: {target}")
+    if broken:
+        print(f"{len(broken)} broken intra-repo markdown link(s):")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"OK: {checked} intra-repo links resolve across {len(md_files(root))} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
