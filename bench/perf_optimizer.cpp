@@ -22,10 +22,18 @@
 // This file doubles as the seed-vs-now measurement harness: it is copied
 // into a scratch worktree of the previous commit to produce the "before"
 // numbers in BENCH_core.json. Benchmarks that exercise APIs new in this
-// tree are therefore gated on the presence of util/dense_matrix.h.
+// tree are therefore gated on the presence of util/dense_matrix.h and
+// sweep/controller_fleet.h.
 #if __has_include("util/dense_matrix.h")
 #define MESHOPT_BENCH_HAS_DENSE 1
 #endif
+#if __has_include("sweep/controller_fleet.h")
+#define MESHOPT_BENCH_HAS_FLEET 1
+#include "sweep/controller_fleet.h"
+#endif
+
+#include "core/controller.h"
+#include "scenario/workbench.h"
 
 namespace meshopt {
 namespace {
@@ -137,6 +145,43 @@ void BM_ChannelDispatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(frames));
 }
 BENCHMARK(BM_ChannelDispatch)->Arg(16)->Arg(64)->Arg(256);
+
+// Dense-overlap dispatch: a clique where every node hears every frame and
+// 8 transmissions overlap, so per-receiver heard lists stay long — the
+// regime where interference-energy accumulation dominates dispatch. (The
+// sparse BM_ChannelDispatch above keeps overlap near zero.)
+void BM_ChannelDispatchDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Simulator sim;
+  PhyParams phy;
+  phy.fading_sigma_db = 0.0;
+  Channel ch(sim, phy, RngStream(52, "bench-dense"));
+  for (int i = 0; i < n; ++i) ch.add_node(nullptr);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (i != j) ch.set_rss_dbm(i, j, -60.0 - 0.1 * ((i + j) % 8));
+  Frame f;
+  f.dst = kBroadcast;
+  f.rate = Rate::kR1Mbps;
+  f.air_bytes = 1500;
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    for (int round = 0; round < 50; ++round) {
+      // 8 staggered 100 us frames: every receiver holds ~8 concurrent
+      // entries in its heard list at the deepest overlap.
+      for (int k = 0; k < 8; ++k) {
+        const NodeId tx = static_cast<NodeId>((round * 8 + k) % n);
+        ch.start_tx(tx, f, micros(100));
+        sim.run_until(sim.now() + micros(10));
+        ++frames;
+      }
+      sim.run_until(sim.now() + micros(200));
+    }
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+}
+BENCHMARK(BM_ChannelDispatchDense)->Arg(16)->Arg(64);
 
 void BM_ExtremePoints(benchmark::State& state) {
   const int links = static_cast<int>(state.range(0));
@@ -310,6 +355,86 @@ void BM_SweepRepeatedTinySweeps(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * jobs);
 }
 BENCHMARK(BM_SweepRepeatedTinySweeps)->Arg(8)->Arg(64);
+
+// ------------------------------------------------------------- control
+// One full controller round on the 4-node gateway scenario: probing
+// simulation for a whole estimation window, loss/capacity estimation,
+// conflict-graph + extreme-point build, proportional-fair optimization,
+// shaper programming. The paper's online cadence, end to end.
+void BM_ControllerRound(benchmark::State& state) {
+  Workbench wb(71);
+  wb.add_nodes(4);
+  Channel& ch = wb.channel();
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = 0; b < 4; ++b)
+      if (a != b) ch.set_rss_dbm(a, b, -120.0);
+  ch.set_rss_symmetric_dbm(0, 1, -58.0);
+  ch.set_rss_symmetric_dbm(1, 2, -58.0);
+  ch.set_rss_symmetric_dbm(3, 2, -56.0);
+  ch.set_rss_symmetric_dbm(1, 3, -70.0);
+
+  ControllerConfig cfg;
+  cfg.probe_period_s = 0.25;
+  cfg.probe_window = 60;
+  cfg.optimizer.objective = Objective::kProportionalFair;
+  MeshController ctl(wb.net(), cfg, 71);
+  ManagedFlow far;
+  far.flow_id = wb.net().open_flow(0, 2, Protocol::kUdp, 1470);
+  far.path = {0, 1, 2};
+  ctl.manage_flow(far);
+  ManagedFlow near;
+  near.flow_id = wb.net().open_flow(3, 2, Protocol::kUdp, 1470);
+  near.path = {3, 2};
+  ctl.manage_flow(near);
+
+  for (auto _ : state) {
+    const RoundResult round = ctl.run_round(wb);
+    benchmark::DoNotOptimize(round);
+  }
+}
+BENCHMARK(BM_ControllerRound);
+
+#ifdef MESHOPT_BENCH_HAS_FLEET
+// Fleet driver: 8 independent controller loops (gateway variants ×
+// objectives) per iteration, on 1 worker vs 4. Results are bit-identical
+// across thread counts; only wall clock changes.
+void BM_FleetSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ControllerFleet fleet(threads);
+  std::vector<FleetCell> cells;
+  const Objective objectives[] = {Objective::kProportionalFair,
+                                  Objective::kMaxThroughput};
+  for (int v = 0; v < 4; ++v) {
+    for (const Objective obj : objectives) {
+      FleetCell cell;
+      const double rss = -56.0 - v;
+      cell.build_topology = [rss](Workbench& wb) {
+        wb.add_nodes(4);
+        Channel& ch = wb.channel();
+        for (NodeId a = 0; a < 4; ++a)
+          for (NodeId b = 0; b < 4; ++b)
+            if (a != b) ch.set_rss_dbm(a, b, -120.0);
+        ch.set_rss_symmetric_dbm(0, 1, -58.0);
+        ch.set_rss_symmetric_dbm(1, 2, -58.0);
+        ch.set_rss_symmetric_dbm(3, 2, rss);
+        ch.set_rss_symmetric_dbm(1, 3, -70.0);
+      };
+      cell.flows = {FleetFlow{{0, 1, 2}}, FleetFlow{{3, 2}}};
+      cell.controller.probe_period_s = 0.25;
+      cell.controller.probe_window = 40;
+      cell.controller.optimizer.objective = obj;
+      cells.push_back(std::move(cell));
+    }
+  }
+  for (auto _ : state) {
+    const auto results = fleet.run(cells, 2025);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_FleetSweep)->Arg(1)->Arg(4);
+#endif
 
 void BM_ChannelLossEstimator(benchmark::State& state) {
   const int s = static_cast<int>(state.range(0));

@@ -1,9 +1,10 @@
 #include "core/controller.h"
 
 #include <algorithm>
-#include <cmath>
+#include <map>
 #include <set>
 #include <string>
+#include <utility>
 
 namespace meshopt {
 
@@ -34,8 +35,15 @@ void MeshController::manage_flow(ManagedFlow flow) {
   flows_.push_back(std::move(flow));
 }
 
-void MeshController::set_lir_table(std::vector<std::vector<double>> lir,
-                                   double threshold) {
+std::vector<FlowSpec> MeshController::flow_specs() const {
+  std::vector<FlowSpec> specs;
+  specs.reserve(flows_.size());
+  for (const ManagedFlow& f : flows_)
+    specs.push_back(FlowSpec{f.flow_id, f.path, f.is_tcp});
+  return specs;
+}
+
+void MeshController::set_lir_table(DenseMatrix lir, double threshold) {
   lir_table_ = std::move(lir);
   lir_threshold_ = threshold;
   cfg_.interference = InterferenceModelKind::kLirTable;
@@ -46,15 +54,23 @@ void MeshController::set_neighbor_predicate(
   neighbor_pred_ = std::move(pred);
 }
 
-void MeshController::ensure_probe_infra(NodeId node) {
-  if (!agents_.contains(node)) {
-    auto agent = std::make_unique<ProbeAgent>(
+ProbeAgent& MeshController::ensure_agent(NodeId node) {
+  const auto slot = static_cast<std::size_t>(node);
+  if (slot >= agents_.size()) agents_.resize(slot + 1);
+  if (!agents_[slot]) {
+    agents_[slot] = std::make_unique<ProbeAgent>(
         net_, node, RngStream(seed_, "probe-" + std::to_string(node)));
-    agents_.emplace(node, std::move(agent));
   }
-  if (!monitors_.contains(node)) {
-    monitors_.emplace(node, std::make_unique<ProbeMonitor>(net_, node));
+  return *agents_[slot];
+}
+
+ProbeMonitor& MeshController::ensure_monitor(NodeId node) {
+  const auto slot = static_cast<std::size_t>(node);
+  if (slot >= monitors_.size()) monitors_.resize(slot + 1);
+  if (!monitors_[slot]) {
+    monitors_[slot] = std::make_unique<ProbeMonitor>(net_, node);
   }
+  return *monitors_[slot];
 }
 
 void MeshController::start_probing() {
@@ -67,135 +83,143 @@ void MeshController::start_probing() {
     nodes.insert(l.dst);
   }
   for (NodeId n : nodes) {
-    ensure_probe_infra(n);
+    ProbeAgent& agent = ensure_agent(n);
+    ensure_monitor(n);
     std::vector<Rate> rates(tx_rates[n].begin(), tx_rates[n].end());
     if (rates.empty()) rates.push_back(Rate::kR1Mbps);
-    agents_.at(n)->configure(cfg_.probe_period_s, rates, cfg_.payload_bytes);
-    agents_.at(n)->start();
+    agent.configure(cfg_.probe_period_s, rates, cfg_.payload_bytes);
+    agent.start();
   }
   // Open a fresh measurement window on every stream of interest.
   for (const LinkRef& l : links_) {
     const std::uint64_t data_base =
-        agents_.at(l.src)->sent(l.rate, ProbeKind::kDataProbe);
-    monitors_.at(l.dst)
-        ->stream_mut({l.src, l.rate, ProbeKind::kDataProbe})
+        ensure_agent(l.src).sent(l.rate, ProbeKind::kDataProbe);
+    ensure_monitor(l.dst)
+        .stream_mut({l.src, l.rate, ProbeKind::kDataProbe})
         ->begin_window(data_base);
     const std::uint64_t ack_base =
-        agents_.at(l.dst)->sent(Rate::kR1Mbps, ProbeKind::kAckProbe);
-    monitors_.at(l.src)
-        ->stream_mut({l.dst, Rate::kR1Mbps, ProbeKind::kAckProbe})
+        ensure_agent(l.dst).sent(Rate::kR1Mbps, ProbeKind::kAckProbe);
+    ensure_monitor(l.src)
+        .stream_mut({l.dst, Rate::kR1Mbps, ProbeKind::kAckProbe})
         ->begin_window(ack_base);
   }
 }
 
 void MeshController::stop_probing() {
-  for (auto& [_, agent] : agents_) agent->stop();
+  for (auto& agent : agents_)
+    if (agent) agent->stop();
 }
 
-void MeshController::update_estimates() {
-  estimates_.clear();
+MeasurementSnapshot MeshController::sense_snapshot() const {
+  MeasurementSnapshot snap;
+  snap.links.reserve(links_.size());
+  const auto expected = static_cast<std::uint64_t>(cfg_.probe_window);
   for (const LinkRef& l : links_) {
-    const std::uint64_t data_sent =
-        agents_.at(l.src)->sent(l.rate, ProbeKind::kDataProbe);
-    const std::uint64_t ack_sent =
-        agents_.at(l.dst)->sent(Rate::kR1Mbps, ProbeKind::kAckProbe);
-    // Window-relative expectations come from the recorders' bases, which
-    // were the senders' counters at start_probing time. Since recorders
-    // are window-relative, expected = sent_now - base and the recorder's
-    // pattern() already speaks window coordinates; we cap at probe_window.
-    const LossRecorder* data_rec = monitors_.at(l.dst)->stream(
-        {l.src, l.rate, ProbeKind::kDataProbe});
-    const LossRecorder* ack_rec = monitors_.at(l.src)->stream(
-        {l.dst, Rate::kR1Mbps, ProbeKind::kAckProbe});
-    (void)data_sent;
-    (void)ack_sent;
+    const auto dst_slot = static_cast<std::size_t>(l.dst);
+    const auto src_slot = static_cast<std::size_t>(l.src);
+    const LossRecorder* data_rec =
+        dst_slot < monitors_.size() && monitors_[dst_slot]
+            ? monitors_[dst_slot]->stream(
+                  {l.src, l.rate, ProbeKind::kDataProbe})
+            : nullptr;
+    const LossRecorder* ack_rec =
+        src_slot < monitors_.size() && monitors_[src_slot]
+            ? monitors_[src_slot]->stream(
+                  {l.dst, Rate::kR1Mbps, ProbeKind::kAckProbe})
+            : nullptr;
 
-    const auto expected =
-        static_cast<std::uint64_t>(cfg_.probe_window);
-    LinkCapacityEstimate est;
+    // Recorders speak window coordinates (bases set at start_probing), so
+    // the expected count is simply the window size.
     double p_data = 1.0, p_ack = 1.0;
     if (data_rec != nullptr) {
       const auto pat = data_rec->pattern(expected);
-      if (!pat.empty())
-        p_data = estimate_channel_loss(pat, cfg_.w_min).p_ch;
+      if (!pat.empty()) p_data = estimate_channel_loss(pat, cfg_.w_min).p_ch;
     }
     if (ack_rec != nullptr) {
       const auto pat = ack_rec->pattern(expected);
       if (!pat.empty()) p_ack = estimate_channel_loss(pat, cfg_.w_min).p_ch;
     }
-    est = capacity_from_losses(net_.node(l.src).mac().timings(),
-                               cfg_.payload_bytes, l.rate, p_data, p_ack);
-    estimates_.push_back({l, est});
+
+    SnapshotLink sl;
+    sl.src = l.src;
+    sl.dst = l.dst;
+    sl.rate = l.rate;
+    sl.retry_limit = net_.node(l.src).mac().timings().retry_limit;
+    sl.estimate = capacity_from_losses(net_.node(l.src).mac().timings(),
+                                       cfg_.payload_bytes, l.rate, p_data,
+                                       p_ack);
+    snap.links.push_back(sl);
+  }
+
+  // Record the neighbor relation among the touched nodes, symmetrized:
+  // one predicate evaluation per unordered pair.
+  std::set<NodeId> nodes;
+  for (const LinkRef& l : links_) {
+    nodes.insert(l.src);
+    nodes.insert(l.dst);
+  }
+  for (auto a = nodes.begin(); a != nodes.end(); ++a) {
+    for (auto b = std::next(a); b != nodes.end(); ++b) {
+      if (neighbor_pred_ && neighbor_pred_(*a, *b))
+        snap.neighbors.emplace_back(*a, *b);
+    }
+  }
+
+  snap.lir = lir_table_;
+  snap.lir_threshold = lir_threshold_;
+  return snap;
+}
+
+void MeshController::update_estimates() {
+  snapshot_ = sense_snapshot();
+  estimates_.clear();
+  estimates_.reserve(snapshot_.links.size());
+  for (const SnapshotLink& sl : snapshot_.links) {
+    estimates_.push_back(
+        {LinkRef{sl.src, sl.dst, sl.rate}, sl.estimate});
 
     LinkState ls;
-    ls.src = l.src;
-    ls.dst = l.dst;
-    ls.rate = l.rate;
-    ls.p_fwd = est.p_data;
-    ls.p_rev = est.p_ack;
+    ls.src = sl.src;
+    ls.dst = sl.dst;
+    ls.rate = sl.rate;
+    ls.p_fwd = sl.estimate.p_data;
+    ls.p_rev = sl.estimate.p_ack;
     topo_.update_link(ls);
+  }
+}
+
+void MeshController::apply_plan(const RatePlan& plan) {
+  if (!plan.ok) return;
+  for (const ShaperProgram& prog : plan.shapers) {
+    for (const ManagedFlow& f : flows_) {
+      if (f.flow_id == prog.flow_id) {
+        if (f.apply_rate) f.apply_rate(prog.x_bps);
+        break;
+      }
+    }
   }
 }
 
 RoundResult MeshController::optimize_and_apply() {
   RoundResult round;
-  if (flows_.empty() || estimates_.size() != links_.size()) return round;
-
-  // Capacities and conflict graph.
-  std::vector<double> capacities;
-  capacities.reserve(links_.size());
-  for (const auto& row : estimates_)
-    capacities.push_back(row.estimate.capacity_bps);
-
-  ConflictGraph conflicts =
-      (cfg_.interference == InterferenceModelKind::kLirTable && lir_table_)
-          ? build_lir_conflict_graph(*lir_table_, lir_threshold_)
-          : build_two_hop_conflict_graph(links_, neighbor_pred_);
-
-  OptimizerInput in;
-  // Bitset bridge: MIS rows stream straight into the K x L matrix.
-  in.extreme_points = build_extreme_point_matrix(capacities, conflicts);
-
-  // Routing matrix.
-  in.routing = DenseMatrix(static_cast<int>(links_.size()),
-                           static_cast<int>(flows_.size()));
-  for (std::size_t s = 0; s < flows_.size(); ++s) {
-    const auto& path = flows_[s].path;
-    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
-      const int l = link_index(path[h], path[h + 1]);
-      if (l >= 0) in.routing(l, static_cast<int>(s)) = 1.0;
-    }
+  if (flows_.empty() || snapshot_.links.size() != links_.size() ||
+      links_.empty()) {
+    return round;
   }
 
-  const OptimizerResult opt = optimize_rates(in, cfg_.optimizer);
-  if (!opt.ok) return round;
+  const InterferenceModel model =
+      InterferenceModel::build(snapshot_, cfg_.interference);
+  plan_ = plan_rates(snapshot_, model, flow_specs(), cfg_.plan());
+  if (!plan_.ok) return round;
+
+  apply_plan(plan_);
 
   round.ok = true;
   round.links = estimates_;
-  round.extreme_points = in.extreme_points.rows();
-  round.optimizer_iterations = opt.iterations;
-  round.y = opt.y;
-  round.x.resize(flows_.size(), 0.0);
-
-  for (std::size_t s = 0; s < flows_.size(); ++s) {
-    const ManagedFlow& f = flows_[s];
-    // Residual network-layer loss after MAC retries: p_net = p_link^R.
-    double deliver = 1.0;
-    for (std::size_t h = 0; h + 1 < f.path.size(); ++h) {
-      const int li = link_index(f.path[h], f.path[h + 1]);
-      if (li < 0) continue;
-      const double p =
-          estimates_[static_cast<std::size_t>(li)].estimate.p_link;
-      const int retries =
-          net_.node(f.path[h]).mac().timings().retry_limit;
-      deliver *= 1.0 - std::pow(p, retries);
-    }
-    double x = opt.y[s] / std::max(deliver, 1e-3);
-    if (f.is_tcp) x *= tcp_ack_airtime_factor();
-    x *= cfg_.headroom;
-    round.x[s] = x;
-    if (f.apply_rate) f.apply_rate(x);
-  }
+  round.y = plan_.y;
+  round.x = plan_.x;
+  round.extreme_points = plan_.extreme_points;
+  round.optimizer_iterations = plan_.optimizer_iterations;
   return round;
 }
 

@@ -1,41 +1,42 @@
 #pragma once
-// MeshController — the paper's online optimization loop (Sections 5-6).
+// MeshController — the paper's online optimization loop (Sections 5-6),
+// as a thin adapter over the staged control-plane pipeline:
 //
-// One controller manages a set of end-to-end flows with known paths. Each
-// round it:
-//   1. runs the broadcast probing system concurrently with live traffic,
-//   2. estimates per-link channel loss rates (collision-filtering
-//      estimator) and link capacities (Eq. 6),
-//   3. builds the conflict graph (two-hop model, or a supplied LIR table)
-//      and the extreme points (Eq. 4),
-//   4. solves the utility-maximization problem for target output rates y_s,
-//   5. converts to input rates x_s = y_s/(1-p_s), applies the TCP ACK
-//      airtime factor for TCP flows, and programs the rate limiters.
+//   sense  — run the broadcast probing system, read the monitors into a
+//            MeasurementSnapshot (value type, JSON-serializable),
+//   model  — InterferenceModel::build(snapshot, kind): conflict graph +
+//            extreme points (Eq. 4),
+//   plan   — plan_rates(snapshot, model, flows, cfg): pure optimization
+//            to a RatePlan (target y_s, input x_s, shaper programs),
+//   apply  — program the flows' rate limiters from the plan.
 //
-// The controller is deliberately phase-explicit (start_probing /
-// update_estimates / optimize_and_apply) so experiments can interleave it
-// with traffic exactly like the paper's two-phase runs; run_round() wraps
-// a full cycle.
+// Only sense and apply touch the live Network; the middle stages are pure
+// value-type functions, so a recorded snapshot replayed offline produces a
+// bit-identical plan (tests/test_control_plane.cpp) and many controller
+// loops can run concurrently (sweep/controller_fleet.h).
+//
+// The controller stays phase-explicit (start_probing / update_estimates /
+// optimize_and_apply) so experiments can interleave it with traffic
+// exactly like the paper's two-phase runs; run_round() wraps a full cycle.
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <optional>
 #include <vector>
 
+#include "core/interference.h"
+#include "core/rate_plan.h"
+#include "core/snapshot.h"
 #include "estimation/capacity.h"
-#include "model/conflict_graph.h"
-#include "model/feasibility.h"
 #include "opt/network_optimizer.h"
 #include "probe/probe_system.h"
 #include "routing/ett.h"
 #include "scenario/workbench.h"
+#include "util/dense_matrix.h"
 
 namespace meshopt {
 
-enum class InterferenceModelKind : std::uint8_t { kTwoHop, kLirTable };
-
+/// Knobs of one controller instance (probing cadence + plan tuning).
 struct ControllerConfig {
   double probe_period_s = 0.5;
   int probe_window = 200;  ///< S probes per estimation window
@@ -45,8 +46,14 @@ struct ControllerConfig {
   InterferenceModelKind interference = InterferenceModelKind::kTwoHop;
   /// Optional global scale-down of computed input rates (1.0 = none).
   double headroom = 1.0;
+
+  /// The plan-stage slice of this config (optimizer + headroom).
+  [[nodiscard]] PlanConfig plan() const {
+    return PlanConfig{optimizer, headroom};
+  }
 };
 
+/// A flow under management: its FlowSpec plus the actuation callback.
 struct ManagedFlow {
   int flow_id = -1;
   std::vector<NodeId> path;  ///< node sequence src..dst
@@ -61,6 +68,8 @@ struct LinkEstimateRow {
   LinkCapacityEstimate estimate;
 };
 
+/// One round's outcome, as the live controller reports it (a view of the
+/// underlying RatePlan plus the estimates the plan was computed from).
 struct RoundResult {
   bool ok = false;
   std::vector<LinkEstimateRow> links;
@@ -82,13 +91,16 @@ class MeshController {
   }
   [[nodiscard]] const std::vector<LinkRef>& links() const { return links_; }
 
-  /// Provide a measured LIR table (same order as links()) to use the
-  /// binary-LIR interference model instead of two-hop.
-  void set_lir_table(std::vector<std::vector<double>> lir,
-                     double threshold = 0.95);
+  /// The flows as value-type FlowSpecs (what plan_rates consumes).
+  [[nodiscard]] std::vector<FlowSpec> flow_specs() const;
+
+  /// Provide a measured L×L LIR table (aligned with links() order) to use
+  /// the binary-LIR interference model instead of two-hop.
+  void set_lir_table(DenseMatrix lir, double threshold = 0.95);
 
   /// Neighbor predicate for the two-hop model (defaults to channel
-  /// decodability).
+  /// decodability). Evaluated once per node pair at sense time and
+  /// recorded symmetrically in the snapshot.
   void set_neighbor_predicate(std::function<bool(NodeId, NodeId)> pred);
 
   /// Phase 1: start the probing system on every node touched by a flow.
@@ -99,11 +111,29 @@ class MeshController {
     return cfg_.probe_period_s * cfg_.probe_window;
   }
 
-  /// Phase 2: read the probe monitors and refresh link estimates.
+  /// Phase 2: sense a fresh MeasurementSnapshot from the probe monitors
+  /// and refresh the link-estimate view + topology database.
   void update_estimates();
 
-  /// Phase 3: build the model, optimize, program the shapers.
+  /// Sense stage on its own: read the monitors into a value-type snapshot
+  /// without mutating controller state. Safe to call repeatedly.
+  [[nodiscard]] MeasurementSnapshot sense_snapshot() const;
+
+  /// The snapshot captured by the last update_estimates() call.
+  [[nodiscard]] const MeasurementSnapshot& snapshot() const {
+    return snapshot_;
+  }
+
+  /// Phase 3: model + plan over the last snapshot, then apply the plan.
   RoundResult optimize_and_apply();
+
+  /// Apply stage on its own: program every managed flow's rate limiter
+  /// from `plan` (shapers matched to flows by flow_id). Lets a plan
+  /// computed elsewhere — another thread, a replay — be actuated here.
+  void apply_plan(const RatePlan& plan);
+
+  /// The plan produced by the last optimize_and_apply() call.
+  [[nodiscard]] const RatePlan& last_plan() const { return plan_; }
 
   /// Convenience: probe for one window of simulated time, then estimate
   /// and apply. Caller's simulation keeps running its traffic meanwhile.
@@ -115,7 +145,8 @@ class MeshController {
   [[nodiscard]] const TopologyDb& topology() const { return topo_; }
 
  private:
-  void ensure_probe_infra(NodeId node);
+  ProbeAgent& ensure_agent(NodeId node);
+  ProbeMonitor& ensure_monitor(NodeId node);
   [[nodiscard]] int link_index(NodeId src, NodeId dst) const;
 
   Network& net_;
@@ -124,15 +155,18 @@ class MeshController {
   std::vector<ManagedFlow> flows_;
   std::vector<LinkRef> links_;
 
-  std::map<NodeId, std::unique_ptr<ProbeAgent>> agents_;
-  std::map<NodeId, std::unique_ptr<ProbeMonitor>> monitors_;
-  std::map<NodeId, std::uint64_t> window_start_data_;
-  std::map<NodeId, std::uint64_t> window_start_ack_;
+  /// Probe infrastructure, dense-indexed by NodeId (node ids are assigned
+  /// contiguously by the channel): no map lookups or tree walks on the
+  /// per-round estimate path. Slots for nodes without probes stay null.
+  std::vector<std::unique_ptr<ProbeAgent>> agents_;
+  std::vector<std::unique_ptr<ProbeMonitor>> monitors_;
 
   std::vector<LinkEstimateRow> estimates_;
   TopologyDb topo_;
+  MeasurementSnapshot snapshot_;
+  RatePlan plan_;
 
-  std::optional<std::vector<std::vector<double>>> lir_table_;
+  DenseMatrix lir_table_;  ///< empty() until set_lir_table
   double lir_threshold_ = 0.95;
   std::function<bool(NodeId, NodeId)> neighbor_pred_;
 };

@@ -1,0 +1,25 @@
+#include "core/interference.h"
+
+#include "model/feasibility.h"
+
+namespace meshopt {
+
+InterferenceModel InterferenceModel::build(const MeasurementSnapshot& snap,
+                                           InterferenceModelKind kind,
+                                           std::size_t mis_cap) {
+  const bool use_lir =
+      kind == InterferenceModelKind::kLirTable && !snap.lir.empty();
+  ConflictGraph conflicts =
+      use_lir ? build_lir_conflict_graph(snap.lir, snap.lir_threshold)
+              : build_two_hop_conflict_graph(
+                    snap.link_refs(), [&snap](NodeId a, NodeId b) {
+                      return snap.is_neighbor(a, b);
+                    });
+  DenseMatrix extreme_points =
+      build_extreme_point_matrix(snap.capacities(), conflicts, mis_cap);
+  return InterferenceModel(use_lir ? InterferenceModelKind::kLirTable
+                                   : InterferenceModelKind::kTwoHop,
+                           std::move(conflicts), std::move(extreme_points));
+}
+
+}  // namespace meshopt

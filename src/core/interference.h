@@ -1,0 +1,65 @@
+#pragma once
+// InterferenceModel — stage 2 of the control plane's
+// snapshot → model → plan pipeline (see ARCHITECTURE.md, "Control plane").
+//
+// Built from a MeasurementSnapshot alone, the model owns the conflict
+// graph over the snapshot's links and the K×L extreme-point matrix of the
+// feasible rate region (Eq. 4). It is a plain value: buildable off-line
+// from a deserialized snapshot, copyable, and usable by any number of
+// plan_rates() calls without a live Network.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "core/snapshot.h"
+#include "model/conflict_graph.h"
+#include "util/dense_matrix.h"
+
+namespace meshopt {
+
+/// Which binary interference model stage 2 builds from a snapshot.
+enum class InterferenceModelKind : std::uint8_t {
+  kTwoHop,    ///< links conflict within two hops (paper Section 5.5)
+  kLirTable,  ///< thresholded measured LIR table (paper Section 4.2)
+};
+
+/// Conflict graph + extreme points derived from one snapshot.
+class InterferenceModel {
+ public:
+  /// Build the model of `kind` from `snap`.
+  ///
+  /// kTwoHop uses the snapshot's recorded neighbor relation; kLirTable
+  /// thresholds the snapshot's LIR matrix at snap.lir_threshold. When
+  /// kLirTable is requested but the snapshot carries no LIR table, the
+  /// build falls back to kTwoHop (mirrors the controller's historical
+  /// behavior); kind() reports the model actually built. `mis_cap` bounds
+  /// the independent-set enumeration (safety valve, as elsewhere).
+  [[nodiscard]] static InterferenceModel build(const MeasurementSnapshot& snap,
+                                               InterferenceModelKind kind,
+                                               std::size_t mis_cap = 200000);
+
+  /// The model actually built (see build() for the LIR fallback rule).
+  [[nodiscard]] InterferenceModelKind kind() const { return kind_; }
+  [[nodiscard]] int num_links() const { return conflicts_.size(); }
+  /// Pairwise conflict relation over the snapshot's links.
+  [[nodiscard]] const ConflictGraph& conflicts() const { return conflicts_; }
+  /// K×L extreme points of the feasible rate region (bits/s), one row per
+  /// maximal independent set, in enumeration order.
+  [[nodiscard]] const DenseMatrix& extreme_points() const {
+    return extreme_points_;
+  }
+
+ private:
+  InterferenceModel(InterferenceModelKind kind, ConflictGraph conflicts,
+                    DenseMatrix extreme_points)
+      : kind_(kind),
+        conflicts_(std::move(conflicts)),
+        extreme_points_(std::move(extreme_points)) {}
+
+  InterferenceModelKind kind_;
+  ConflictGraph conflicts_;
+  DenseMatrix extreme_points_;
+};
+
+}  // namespace meshopt

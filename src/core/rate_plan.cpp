@@ -1,0 +1,59 @@
+#include "core/rate_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace meshopt {
+
+RatePlan plan_rates(const MeasurementSnapshot& snapshot,
+                    const InterferenceModel& model,
+                    const std::vector<FlowSpec>& flows,
+                    const PlanConfig& cfg) {
+  RatePlan plan;
+  if (flows.empty() || snapshot.links.empty() ||
+      model.num_links() != static_cast<int>(snapshot.links.size())) {
+    return plan;
+  }
+
+  OptimizerInput in;
+  in.extreme_points = model.extreme_points();
+  in.routing = DenseMatrix(static_cast<int>(snapshot.links.size()),
+                           static_cast<int>(flows.size()));
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    const auto& path = flows[s].path;
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      const int l = snapshot.link_index(path[h], path[h + 1]);
+      if (l >= 0) in.routing(l, static_cast<int>(s)) = 1.0;
+    }
+  }
+
+  const OptimizerResult opt = optimize_rates(in, cfg.optimizer);
+  if (!opt.ok) return plan;
+
+  plan.ok = true;
+  plan.extreme_points = in.extreme_points.rows();
+  plan.optimizer_iterations = opt.iterations;
+  plan.y = opt.y;
+  plan.x.resize(flows.size(), 0.0);
+  plan.shapers.reserve(flows.size());
+
+  for (std::size_t s = 0; s < flows.size(); ++s) {
+    const FlowSpec& f = flows[s];
+    // Residual network-layer loss after MAC retries: p_net = p_link^R.
+    double deliver = 1.0;
+    for (std::size_t h = 0; h + 1 < f.path.size(); ++h) {
+      const int li = snapshot.link_index(f.path[h], f.path[h + 1]);
+      if (li < 0) continue;
+      const SnapshotLink& link = snapshot.links[static_cast<std::size_t>(li)];
+      deliver *= 1.0 - std::pow(link.estimate.p_link, link.retry_limit);
+    }
+    double x = opt.y[s] / std::max(deliver, 1e-3);
+    if (f.is_tcp) x *= tcp_ack_airtime_factor();
+    x *= cfg.headroom;
+    plan.x[s] = x;
+    plan.shapers.push_back(ShaperProgram{f.flow_id, x});
+  }
+  return plan;
+}
+
+}  // namespace meshopt

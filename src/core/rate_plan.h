@@ -1,0 +1,72 @@
+#pragma once
+// RatePlan + plan_rates() — stage 3 of the control plane's
+// snapshot → model → plan pipeline (see ARCHITECTURE.md, "Control plane").
+//
+// plan_rates() is a pure function of value types: it never touches a live
+// Network, takes no locks, draws no randomness, and allocates only its
+// outputs. Given equal inputs it returns a bit-identical plan — the
+// property the snapshot-replay tests and the multi-threaded
+// ControllerFleet driver rely on.
+
+#include <vector>
+
+#include "core/interference.h"
+#include "core/snapshot.h"
+#include "opt/network_optimizer.h"
+#include "phy/radio.h"
+
+namespace meshopt {
+
+/// Value-type description of one managed end-to-end flow (the pipeline's
+/// counterpart of ManagedFlow, minus the actuation callback).
+struct FlowSpec {
+  int flow_id = -1;
+  std::vector<NodeId> path;  ///< node sequence src..dst
+  bool is_tcp = false;       ///< apply the TCP ACK airtime factor to x_s
+
+  friend bool operator==(const FlowSpec&, const FlowSpec&) = default;
+};
+
+/// Tuning knobs of the plan stage.
+struct PlanConfig {
+  OptimizerConfig optimizer{};
+  /// Global scale-down of computed input rates (1.0 = none).
+  double headroom = 1.0;
+};
+
+/// One rate-limiter program: flow `flow_id` shaped to `x_bps` input rate.
+struct ShaperProgram {
+  int flow_id = -1;
+  double x_bps = 0.0;
+
+  friend bool operator==(const ShaperProgram&, const ShaperProgram&) = default;
+};
+
+/// Stage-3 output: target output rates, input rates, shaper programs.
+struct RatePlan {
+  bool ok = false;        ///< false: empty input or infeasible optimization
+  std::vector<double> y;  ///< optimized output rates per flow (bits/s)
+  std::vector<double> x;  ///< input rates per flow after loss compensation,
+                          ///< TCP ACK discount and headroom (bits/s)
+  std::vector<ShaperProgram> shapers;  ///< one per flow, in flow order
+  int extreme_points = 0;              ///< K of the rate region used
+  int optimizer_iterations = 0;        ///< Frank–Wolfe iterations used
+
+  friend bool operator==(const RatePlan&, const RatePlan&) = default;
+};
+
+/// Compute a rate plan from a snapshot and its interference model.
+///
+/// @pre  `model` was built from `snapshot` (model.num_links() must equal
+///       snapshot.links.size()); every hop of every flow path should map
+///       to a snapshot link (unknown hops are skipped, matching the
+///       historical controller behavior).
+/// @post on ok: y.size() == x.size() == shapers.size() == flows.size();
+///       shapers[s] targets flows[s].flow_id. Deterministic: equal inputs
+///       give bit-identical outputs.
+[[nodiscard]] RatePlan plan_rates(const MeasurementSnapshot& snapshot,
+                                  const InterferenceModel& model,
+                                  const std::vector<FlowSpec>& flows,
+                                  const PlanConfig& cfg);
+
+}  // namespace meshopt

@@ -14,6 +14,9 @@ struct LinkCapacityEstimate {
   double p_ack = 0.0;       ///< estimated ACK channel loss rate
   double p_link = 0.0;      ///< combined per-attempt loss
   double capacity_bps = 0.0;  ///< Eq. 6 maxUDP estimate (payload bits/s)
+
+  friend bool operator==(const LinkCapacityEstimate&,
+                         const LinkCapacityEstimate&) = default;
 };
 
 /// Closed-form capacity from already-estimated channel loss rates.

@@ -210,18 +210,24 @@ void ConflictGraph::for_each_independent_set_row(
   bk.run([&emit](const std::uint64_t* bits) { emit(bits); });
 }
 
-ConflictGraph build_lir_conflict_graph(
-    const std::vector<std::vector<double>>& lir, double threshold) {
-  const int n = static_cast<int>(lir.size());
+ConflictGraph build_lir_conflict_graph(const DenseMatrix& lir,
+                                       double threshold) {
+  if (lir.rows() != lir.cols())
+    throw std::invalid_argument("LIR table must be square");
+  const int n = lir.rows();
   ConflictGraph g(n);
   for (int i = 0; i < n; ++i) {
-    if (static_cast<int>(lir[std::size_t(i)].size()) != n)
-      throw std::invalid_argument("LIR table must be square");
+    const double* row = lir.row(i);
     for (int j = i + 1; j < n; ++j) {
-      if (lir[std::size_t(i)][std::size_t(j)] < threshold) g.add_conflict(i, j);
+      if (row[j] < threshold) g.add_conflict(i, j);
     }
   }
   return g;
+}
+
+ConflictGraph build_lir_conflict_graph(
+    const std::vector<std::vector<double>>& lir, double threshold) {
+  return build_lir_conflict_graph(DenseMatrix::from_nested(lir), threshold);
 }
 
 ConflictGraph build_two_hop_conflict_graph(

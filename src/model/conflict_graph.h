@@ -16,6 +16,7 @@
 
 #include "phy/radio.h"
 #include "scenario/workbench.h"
+#include "util/dense_matrix.h"
 
 namespace meshopt {
 
@@ -74,7 +75,17 @@ class ConflictGraph {
 };
 
 /// Binary-LIR conflict graph from a pairwise LIR table (entry (i,j) is the
-/// measured LIR of links i and j; diagonal ignored).
+/// measured LIR of links i and j; diagonal ignored). The table must be
+/// square (L×L, aligned with the link order).
+[[nodiscard]] ConflictGraph build_lir_conflict_graph(const DenseMatrix& lir,
+                                                     double threshold = 0.95);
+
+/// Nested-vector convenience overload.
+///
+/// DEPRECATED for hot paths (the last vector<vector<double>> entry point
+/// on the optimizer pipeline): prefer the DenseMatrix overload, which the
+/// control plane's InterferenceModel uses. Kept for tests and casual
+/// callers.
 [[nodiscard]] ConflictGraph build_lir_conflict_graph(
     const std::vector<std::vector<double>>& lir, double threshold = 0.95);
 

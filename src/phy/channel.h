@@ -98,7 +98,11 @@ class Channel {
     bool transmitting = false;
     bool busy_reported = false;
     std::optional<RxLock> lock;
-    std::vector<HeardFrame> heard;  ///< sorted by frame_id
+    /// In-flight foreign frames, sorted by frame_id. The interference
+    /// energy is their left-to-right sum; hot paths that already know the
+    /// sum derive updates from it (see handle_frame_start_at) instead of
+    /// re-walking this list.
+    std::vector<HeardFrame> heard;
     /// The frame this node is currently transmitting (valid while
     /// `transmitting`). Kept here so the end-of-frame closure captures two
     /// words instead of a whole Frame and stays inline in the event slab.
@@ -118,6 +122,12 @@ class Channel {
   void end_tx(NodeId tx);
   void update_reach(NodeId a, NodeId b);
   void update_busy(NodeId n);
+  /// update_busy with the node's interference energy already in hand —
+  /// the frame-start path accumulates it once and passes it along instead
+  /// of re-walking the heard list per busy check.
+  void update_busy_with(NodeId n, double energy_mw);
+  /// Raise phy_busy_changed if `busy` differs from the reported state.
+  void report_busy(NodeId n, bool busy);
   void handle_frame_start_at(NodeId n, const Frame& f, double rss_mw);
   void finalize_lock(NodeId n, const Frame& f);
   [[nodiscard]] double sinr_db(double signal_mw, double interference_mw) const;

@@ -1,0 +1,76 @@
+#include "sweep/controller_fleet.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "transport/udp.h"
+
+namespace meshopt {
+
+namespace {
+
+FleetResult run_cell(const FleetCell& cell, const SweepJob& job) {
+  if (!cell.build_topology)
+    throw std::invalid_argument("FleetCell: build_topology is required");
+
+  Workbench wb(job.seed);
+  cell.build_topology(wb);
+
+  MeshController ctl(wb.net(), cell.controller, job.seed);
+  std::vector<std::unique_ptr<UdpSource>> sources;
+  sources.reserve(cell.flows.size());
+  for (std::size_t i = 0; i < cell.flows.size(); ++i) {
+    const FleetFlow& f = cell.flows[i];
+    if (f.path.size() < 2)
+      throw std::invalid_argument(
+          "FleetFlow: path needs at least src and dst");
+    ManagedFlow mf;
+    mf.flow_id = wb.net().open_flow(f.path.front(), f.path.back(),
+                                    Protocol::kUdp, f.payload_bytes);
+    mf.path = f.path;
+    mf.rate = f.rate;
+    mf.is_tcp = f.is_tcp;
+    if (f.input_bps > 0.0) {
+      auto src = std::make_unique<UdpSource>(
+          wb.net(), mf.flow_id, UdpMode::kCbr, f.input_bps,
+          RngStream(job.seed, "fleet-src-" + std::to_string(i)));
+      UdpSource* raw = src.get();
+      mf.apply_rate = [raw](double x_bps) { raw->set_rate_bps(x_bps); };
+      sources.push_back(std::move(src));
+    }
+    ctl.manage_flow(mf);
+  }
+  if (!cell.lir.empty()) ctl.set_lir_table(cell.lir, cell.lir_threshold);
+
+  for (auto& src : sources) src->start();
+  if (cell.settle_s > 0.0) wb.run_for(cell.settle_s);
+
+  FleetResult result;
+  result.index = job.index;
+  result.seed = job.seed;
+  const int rounds = cell.rounds > 0 ? cell.rounds : 1;
+  for (int r = 0; r < rounds; ++r) {
+    const RoundResult round = ctl.run_round(wb);
+    result.ok = round.ok;
+  }
+  ctl.stop_probing();
+  for (auto& src : sources) src->stop();
+
+  result.snapshot = ctl.snapshot();
+  result.plan = ctl.last_plan();
+  return result;
+}
+
+}  // namespace
+
+std::vector<FleetResult> ControllerFleet::run(
+    const std::vector<FleetCell>& cells, std::uint64_t master_seed) {
+  return runner_.run(static_cast<int>(cells.size()), master_seed,
+                     [&cells](const SweepJob& job) {
+                       return run_cell(
+                           cells[static_cast<std::size_t>(job.index)], job);
+                     });
+}
+
+}  // namespace meshopt

@@ -1,0 +1,86 @@
+#pragma once
+// ControllerFleet — fleet-scale driver for the staged control plane.
+//
+// A fleet experiment is N independent controller loops — each with its
+// own Workbench (simulator + channel + network), its own MeshController,
+// and its own derived RNG stream — executed across the persistent
+// work-stealing SweepRunner. One call covers a whole scenario grid
+// (topology × traffic × interference model × objective), and the results
+// are bit-for-bit identical whatever the thread count, for the same
+// reasons the sweep pool is deterministic: per-cell seeds depend only on
+// (master_seed, index), and results land at their cell's index.
+//
+// Each cell's result carries the final round's MeasurementSnapshot and
+// RatePlan — the full value-type record of what the controller measured
+// and decided — so fleet outputs can be serialized, replayed, or compared
+// offline without re-running the simulations.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/controller.h"
+#include "sweep/sweep_runner.h"
+
+namespace meshopt {
+
+/// One managed flow of a fleet cell.
+struct FleetFlow {
+  std::vector<NodeId> path;  ///< node sequence src..dst
+  Rate rate = Rate::kR1Mbps;
+  bool is_tcp = false;  ///< plan with the TCP ACK airtime discount
+  /// When > 0, drive the flow with a CBR UDP source at this input rate
+  /// (bits/s) while probing runs, and let the controller's plan retune the
+  /// source. 0 = register the flow without driving traffic.
+  double input_bps = 0.0;
+  int payload_bytes = 1470;
+};
+
+/// One cell of a fleet experiment: topology, traffic, controller tuning.
+struct FleetCell {
+  /// Builds the topology into a fresh Workbench (add nodes, program the
+  /// channel). Runs on a pool thread: it must only touch the Workbench it
+  /// is given plus immutable captured state.
+  std::function<void(Workbench&)> build_topology;
+  std::vector<FleetFlow> flows;
+  ControllerConfig controller{};
+  /// Non-empty: use the binary-LIR interference model with this table.
+  DenseMatrix lir;
+  double lir_threshold = 0.95;
+  int rounds = 1;       ///< controller rounds to run back to back
+  double settle_s = 0.0;  ///< traffic warm-up before the first round
+};
+
+/// Outcome of one cell: the last round's full control-plane record.
+struct FleetResult {
+  int index = -1;          ///< cell position in the grid
+  std::uint64_t seed = 0;  ///< the cell's derived RNG seed
+  bool ok = false;         ///< last round produced a feasible plan
+  MeasurementSnapshot snapshot;  ///< last sensed snapshot
+  RatePlan plan;                 ///< last computed plan
+};
+
+/// Runs fleets of independent controller loops on a SweepRunner pool.
+///
+/// Thread-safety: same contract as SweepRunner — one run() at a time per
+/// fleet instance; the instance may be reused across sequential runs.
+class ControllerFleet {
+ public:
+  /// `threads` <= 0 selects the hardware concurrency (at least 1).
+  explicit ControllerFleet(int threads = 0) : runner_(threads) {}
+
+  /// Workers per run, including the calling thread.
+  [[nodiscard]] int threads() const { return runner_.threads(); }
+
+  /// Run every cell and collect results in cell order.
+  ///
+  /// @post result.size() == cells.size(); result[i].index == i; output is
+  ///       bit-for-bit independent of the thread count.
+  [[nodiscard]] std::vector<FleetResult> run(
+      const std::vector<FleetCell>& cells, std::uint64_t master_seed);
+
+ private:
+  SweepRunner runner_;
+};
+
+}  // namespace meshopt

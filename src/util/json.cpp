@@ -1,0 +1,356 @@
+#include "util/json.h"
+
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace meshopt {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::invalid_argument(std::string("json: ") + what);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) fail("not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) fail("not a number");
+  return number_;
+}
+
+int JsonValue::as_int() const {
+  const double v = as_number();
+  // Bounds exclusive of the ends: INT_MAX + 1 is exactly representable
+  // and anything in (INT_MIN - 1, INT_MAX + 1) truncates into range.
+  // Out-of-range float-to-int conversion is UB, so check first.
+  constexpr double kLo = static_cast<double>(INT_MIN) - 1.0;
+  constexpr double kHi = static_cast<double>(INT_MAX) + 1.0;
+  if (!(v > kLo && v < kHi)) fail("number out of int range");
+  return static_cast<int>(v);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) fail("not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::kArray) fail("not an array");
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (type_ != Type::kObject) fail("not an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) fail("missing object member");
+  return *v;
+}
+
+/// Recursive-descent parser over a string_view cursor.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+      case '[': {
+        // Containers recurse; cap the depth so a hostile document fails
+        // with the documented exception instead of overflowing the stack.
+        // The snapshot schema needs depth 3.
+        if (depth_ >= kMaxDepth) fail("nesting too deep");
+        ++depth_;
+        JsonValue v = c == '{' ? object() : array();
+        --depth_;
+        return v;
+      }
+      case '"': {
+        JsonValue v;
+        v.type_ = JsonValue::Type::kString;
+        v.string_ = string();
+        return v;
+      }
+      case 't': {
+        if (!consume_literal("true")) fail("bad literal");
+        JsonValue v;
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_literal("false")) fail("bad literal");
+        JsonValue v;
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = false;
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      }
+      default:
+        return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object_.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array_.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(c);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9')
+              cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (the snapshot schema is
+          // ASCII-only; surrogate pairs are rejected rather than decoded).
+          if (cp >= 0xD800 && cp <= 0xDFFF) fail("surrogates unsupported");
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    // strtod needs NUL termination; numbers are short, copy locally.
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("malformed number");
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    v.number_ = d;
+    return v;
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).run();
+}
+
+void json_append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void json_append_int(std::string& out, long long v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  out += buf;
+}
+
+void json_append_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace meshopt

@@ -234,10 +234,7 @@ TEST(Controller, LirTableOverridesTwoHop) {
   // Claim (falsely, for the test) that all links are independent: the
   // optimizer should then hand every flow its full link capacity.
   const int l = static_cast<int>(ctl.links().size());
-  std::vector<std::vector<double>> lir(
-      static_cast<std::size_t>(l),
-      std::vector<double>(static_cast<std::size_t>(l), 1.0));
-  ctl.set_lir_table(lir);
+  ctl.set_lir_table(DenseMatrix(l, l, 1.0));
 
   const RoundResult round = ctl.run_round(wb);
   ASSERT_TRUE(round.ok);
