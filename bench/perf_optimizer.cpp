@@ -31,6 +31,12 @@
 #define MESHOPT_BENCH_HAS_FLEET 1
 #include "sweep/controller_fleet.h"
 #endif
+#if __has_include("util/trace_codec.h")
+#define MESHOPT_BENCH_HAS_TRACE 1
+#include "core/snapshot_source.h"
+#include "probe/live_source.h"
+#include "util/trace_codec.h"
+#endif
 
 #include "core/controller.h"
 #include "scenario/workbench.h"
@@ -357,12 +363,13 @@ void BM_SweepRepeatedTinySweeps(benchmark::State& state) {
 BENCHMARK(BM_SweepRepeatedTinySweeps)->Arg(8)->Arg(64);
 
 // ------------------------------------------------------------- control
-// One full controller round on the 4-node gateway scenario: probing
-// simulation for a whole estimation window, loss/capacity estimation,
-// conflict-graph + extreme-point build, proportional-fair optimization,
-// shaper programming. The paper's online cadence, end to end.
-void BM_ControllerRound(benchmark::State& state) {
-  Workbench wb(71);
+// The 4-node gateway scenario shared by BM_ControllerRound and
+// BM_TraceReplayRound — one definition, so the replay-vs-live comparison
+// is structurally over the same topology, flows, and controller tuning.
+// Kept local (mirroring scenario/topologies.h build_gateway_chain) so the
+// file still compiles when copied into a previous-commit worktree for
+// before-side measurements.
+void build_bench_gateway(Workbench& wb) {
   wb.add_nodes(4);
   Channel& ch = wb.channel();
   for (NodeId a = 0; a < 4; ++a)
@@ -372,12 +379,17 @@ void BM_ControllerRound(benchmark::State& state) {
   ch.set_rss_symmetric_dbm(1, 2, -58.0);
   ch.set_rss_symmetric_dbm(3, 2, -56.0);
   ch.set_rss_symmetric_dbm(1, 3, -70.0);
+}
 
+ControllerConfig bench_gateway_config() {
   ControllerConfig cfg;
   cfg.probe_period_s = 0.25;
   cfg.probe_window = 60;
   cfg.optimizer.objective = Objective::kProportionalFair;
-  MeshController ctl(wb.net(), cfg, 71);
+  return cfg;
+}
+
+void add_bench_gateway_flows(Workbench& wb, MeshController& ctl) {
   ManagedFlow far;
   far.flow_id = wb.net().open_flow(0, 2, Protocol::kUdp, 1470);
   far.path = {0, 1, 2};
@@ -386,6 +398,17 @@ void BM_ControllerRound(benchmark::State& state) {
   near.flow_id = wb.net().open_flow(3, 2, Protocol::kUdp, 1470);
   near.path = {3, 2};
   ctl.manage_flow(near);
+}
+
+// One full controller round on the 4-node gateway scenario: probing
+// simulation for a whole estimation window, loss/capacity estimation,
+// conflict-graph + extreme-point build, proportional-fair optimization,
+// shaper programming. The paper's online cadence, end to end.
+void BM_ControllerRound(benchmark::State& state) {
+  Workbench wb(71);
+  build_bench_gateway(wb);
+  MeshController ctl(wb.net(), bench_gateway_config(), 71);
+  add_bench_gateway_flows(wb, ctl);
 
   for (auto _ : state) {
     const RoundResult round = ctl.run_round(wb);
@@ -393,6 +416,48 @@ void BM_ControllerRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ControllerRound);
+
+#ifdef MESHOPT_BENCH_HAS_TRACE
+// Trace replay: the same gateway scenario as BM_ControllerRound, but the
+// probing windows were recorded once up front (outside the timed loop)
+// and each planned round is pure snapshot -> model -> plan work through
+// ControllerFleet::replay — no Simulator, no MAC, no probing. The
+// per-round time against BM_ControllerRound is the record-once/replay-
+// many payoff: one planned round costs optimizer work only.
+void BM_TraceReplayRound(benchmark::State& state) {
+  // Record an 8-round trace of the BM_ControllerRound scenario (the
+  // shared gateway helpers above keep the two benches structurally on
+  // the same topology, flows, and tuning).
+  Workbench wb(71);
+  build_bench_gateway(wb);
+  const ControllerConfig cfg = bench_gateway_config();
+  MeshController ctl(wb.net(), cfg, 71);
+  add_bench_gateway_flows(wb, ctl);
+
+  std::vector<MeasurementSnapshot> trace;
+  {
+    LiveSource live(wb, ctl, /*max_windows=*/8);
+    MeasurementSnapshot snap;
+    while (live.next(snap)) trace.push_back(snap);
+  }
+
+  ControllerFleet fleet(1);
+  ReplayCell cell;
+  cell.flows = ctl.flow_specs();
+  cell.plan = cfg.plan();
+
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    const auto results = fleet.replay({cell}, trace);
+    rounds += static_cast<std::int64_t>(results[0].plans.size());
+    benchmark::DoNotOptimize(results);
+  }
+  // items/s is planned rounds per second; compare against one iteration
+  // of BM_ControllerRound (one live round) for the replay speedup.
+  state.SetItemsProcessed(rounds);
+}
+BENCHMARK(BM_TraceReplayRound);
+#endif
 
 #ifdef MESHOPT_BENCH_HAS_FLEET
 // Fleet driver: 8 independent controller loops (gateway variants ×

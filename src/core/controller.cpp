@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "util/trace_codec.h"
+
 namespace meshopt {
 
 MeshController::MeshController(Network& net, ControllerConfig cfg,
@@ -88,7 +90,9 @@ void MeshController::start_probing() {
     std::vector<Rate> rates(tx_rates[n].begin(), tx_rates[n].end());
     if (rates.empty()) rates.push_back(Rate::kR1Mbps);
     agent.configure(cfg_.probe_period_s, rates, cfg_.payload_bytes);
-    agent.start();
+    // Batch one estimation window of tick scheduling up front (timing is
+    // bit-identical to per-tick scheduling; see ProbeAgent::start).
+    agent.start(cfg_.probe_window);
   }
   // Open a fresh measurement window on every stream of interest.
   for (const LinkRef& l : links_) {
@@ -186,6 +190,13 @@ void MeshController::update_estimates() {
     ls.p_rev = sl.estimate.p_ack;
     topo_.update_link(ls);
   }
+  if (trace_writer_ != nullptr) trace_writer_->write(snapshot_);
+}
+
+void MeshController::sense_window(Workbench& wb) {
+  start_probing();
+  wb.run_for(probing_window_seconds());
+  update_estimates();
 }
 
 void MeshController::apply_plan(const RatePlan& plan) {
@@ -224,9 +235,7 @@ RoundResult MeshController::optimize_and_apply() {
 }
 
 RoundResult MeshController::run_round(Workbench& wb) {
-  start_probing();
-  wb.run_for(probing_window_seconds());
-  update_estimates();
+  sense_window(wb);
   return optimize_and_apply();
 }
 

@@ -36,6 +36,8 @@
 
 namespace meshopt {
 
+class TraceWriter;
+
 /// Knobs of one controller instance (probing cadence + plan tuning).
 struct ControllerConfig {
   double probe_period_s = 0.5;
@@ -112,8 +114,22 @@ class MeshController {
   }
 
   /// Phase 2: sense a fresh MeasurementSnapshot from the probe monitors
-  /// and refresh the link-estimate view + topology database.
+  /// and refresh the link-estimate view + topology database. When a trace
+  /// writer is attached (record_to), the sensed snapshot is appended to
+  /// the trace.
   void update_estimates();
+
+  /// One windowed sensing step: start (or keep) probing, advance the
+  /// simulation by one probing window, then update_estimates(). This is
+  /// the live half of a controller round — LiveSource drives it per
+  /// next(), and run_round() is sense_window + optimize_and_apply.
+  void sense_window(Workbench& wb);
+
+  /// Record mode: append every snapshot sensed by update_estimates() to
+  /// `writer` (borrowed; nullptr stops recording). Replaying the trace
+  /// through the pure pipeline reproduces this controller's plans
+  /// bit-identically (tests/test_trace.cpp).
+  void record_to(TraceWriter* writer) { trace_writer_ = writer; }
 
   /// Sense stage on its own: read the monitors into a value-type snapshot
   /// without mutating controller state. Safe to call repeatedly.
@@ -169,6 +185,7 @@ class MeshController {
   DenseMatrix lir_table_;  ///< empty() until set_lir_table
   double lir_threshold_ = 0.95;
   std::function<bool(NodeId, NodeId)> neighbor_pred_;
+  TraceWriter* trace_writer_ = nullptr;  ///< borrowed; see record_to()
 };
 
 }  // namespace meshopt

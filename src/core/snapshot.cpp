@@ -94,7 +94,10 @@ std::string MeasurementSnapshot::to_json() const {
 }
 
 MeasurementSnapshot MeasurementSnapshot::from_json(std::string_view text) {
-  const JsonValue doc = JsonValue::parse(text);
+  return from_value(JsonValue::parse(text));
+}
+
+MeasurementSnapshot MeasurementSnapshot::from_value(const JsonValue& doc) {
   if (doc.at("version").as_int() != 1)
     throw std::invalid_argument("snapshot: unsupported schema version");
 

@@ -21,6 +21,8 @@
 
 namespace meshopt {
 
+class JsonValue;
+
 /// One managed directed link as measured during a probe round.
 struct SnapshotLink {
   NodeId src = -1;
@@ -73,6 +75,11 @@ struct MeasurementSnapshot {
   /// Parse a document produced by to_json() (or hand-written to the same
   /// schema). @throws std::invalid_argument on malformed input.
   [[nodiscard]] static MeasurementSnapshot from_json(std::string_view text);
+
+  /// Decode an already-parsed JSON value in the to_json() schema (the
+  /// shared decoder behind from_json and the trace codec's JSON path).
+  /// @throws std::invalid_argument on schema violations.
+  [[nodiscard]] static MeasurementSnapshot from_value(const JsonValue& doc);
 
   friend bool operator==(const MeasurementSnapshot&,
                          const MeasurementSnapshot&) = default;

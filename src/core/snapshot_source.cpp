@@ -1,0 +1,11 @@
+#include "core/snapshot_source.h"
+
+#include "util/trace_codec.h"
+
+namespace meshopt {
+
+TraceSource TraceSource::from_file(const std::string& path) {
+  return TraceSource(read_trace(path));
+}
+
+}  // namespace meshopt

@@ -1,0 +1,87 @@
+#pragma once
+// SnapshotSource — pluggable producer of MeasurementSnapshots (see
+// ARCHITECTURE.md, "Trace & replay").
+//
+// PR 3 made the model/plan stages pure functions of a MeasurementSnapshot;
+// this interface abstracts where the snapshots come from, so every
+// consumer (controller round loops, ControllerFleet cells, sweep studies)
+// is written once against `next()` and runs unchanged over
+//   * LiveSource (src/probe/live_source.h) — runs the probing-window
+//     simulation and senses a fresh snapshot per call, or
+//   * TraceSource (below) — streams rounds recorded earlier, constructing
+//     no Simulator at all.
+//
+// Determinism contract: a source must yield the same snapshot sequence for
+// the same construction inputs — LiveSource inherits this from the
+// simulator's determinism, TraceSource trivially from the trace. Sources
+// are single-consumer: next() advances a cursor and is not thread-safe;
+// share a recorded trace across threads by giving each consumer its own
+// TraceSource over the same (const, immutable) round storage.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/snapshot.h"
+
+namespace meshopt {
+
+/// Produces the measurement windows a planning loop consumes.
+class SnapshotSource {
+ public:
+  virtual ~SnapshotSource() = default;
+
+  /// Produce the next measurement window into `out`. Returns false when
+  /// the source is exhausted (a live source may never be).
+  virtual bool next(MeasurementSnapshot& out) = 0;
+
+  /// Windows remaining, or -1 when unbounded/unknown.
+  [[nodiscard]] virtual int remaining() const { return -1; }
+};
+
+/// Replays recorded rounds from an in-memory trace. The rounds may be
+/// owned (moved in / loaded from a file) or borrowed from shared immutable
+/// storage — the borrow form is what fleet replay uses so N cells share
+/// one recorded trace without N copies.
+class TraceSource final : public SnapshotSource {
+ public:
+  /// Own a copy of the rounds.
+  explicit TraceSource(std::vector<MeasurementSnapshot> rounds)
+      : owned_(std::move(rounds)) {}
+
+  /// Borrow `rounds` — the caller keeps it alive and unmodified for the
+  /// source's lifetime (e.g. a trace shared across fleet replay cells).
+  explicit TraceSource(const std::vector<MeasurementSnapshot>* rounds)
+      : borrowed_(rounds) {}
+
+  /// Load a binary trace file (util/trace_codec.h) and own its rounds.
+  /// @throws std::runtime_error / std::invalid_argument as read_trace.
+  [[nodiscard]] static TraceSource from_file(const std::string& path);
+
+  bool next(MeasurementSnapshot& out) override {
+    const auto& r = rounds();
+    if (cursor_ >= r.size()) return false;
+    out = r[cursor_++];
+    return true;
+  }
+
+  [[nodiscard]] int remaining() const override {
+    return static_cast<int>(rounds().size() - cursor_);
+  }
+
+  /// Rewind to the first round (replay the same trace again).
+  void rewind() { cursor_ = 0; }
+
+  /// The backing rounds (owned or borrowed).
+  [[nodiscard]] const std::vector<MeasurementSnapshot>& rounds() const {
+    return borrowed_ != nullptr ? *borrowed_ : owned_;
+  }
+
+ private:
+  std::vector<MeasurementSnapshot> owned_;
+  const std::vector<MeasurementSnapshot>* borrowed_ = nullptr;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace meshopt

@@ -225,11 +225,6 @@ ConflictGraph build_lir_conflict_graph(const DenseMatrix& lir,
   return g;
 }
 
-ConflictGraph build_lir_conflict_graph(
-    const std::vector<std::vector<double>>& lir, double threshold) {
-  return build_lir_conflict_graph(DenseMatrix::from_nested(lir), threshold);
-}
-
 ConflictGraph build_two_hop_conflict_graph(
     const std::vector<LinkRef>& links,
     const std::function<bool(NodeId, NodeId)>& is_neighbor) {

@@ -76,18 +76,12 @@ class ConflictGraph {
 
 /// Binary-LIR conflict graph from a pairwise LIR table (entry (i,j) is the
 /// measured LIR of links i and j; diagonal ignored). The table must be
-/// square (L×L, aligned with the link order).
+/// square (L×L, aligned with the link order). This is the only entry
+/// point: the nested-vector overload was removed once every caller moved
+/// to DenseMatrix (use DenseMatrix::from_nested at the boundary if a
+/// legacy table arrives as vector<vector<double>>).
 [[nodiscard]] ConflictGraph build_lir_conflict_graph(const DenseMatrix& lir,
                                                      double threshold = 0.95);
-
-/// Nested-vector convenience overload.
-///
-/// DEPRECATED for hot paths (the last vector<vector<double>> entry point
-/// on the optimizer pipeline): prefer the DenseMatrix overload, which the
-/// control plane's InterferenceModel uses. Kept for tests and casual
-/// callers.
-[[nodiscard]] ConflictGraph build_lir_conflict_graph(
-    const std::vector<std::vector<double>>& lir, double threshold = 0.95);
 
 /// Two-hop interference model: links conflict when they share an endpoint
 /// or have endpoints within one hop of each other. `is_neighbor` is the

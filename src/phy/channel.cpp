@@ -24,9 +24,14 @@ NodeId Channel::add_node(PhySap* sap) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(PhyState{});
   nodes_.back().sap = sap;
+  // Typical overlap depth is single digits even in dense meshes; seeding
+  // the heard list's capacity keeps the first frames of a run (and every
+  // frame of a short benchmark) off the allocator.
+  nodes_.back().heard.reserve(8);
   for (auto& row : rss_dbm_) row.push_back(kUnreachableDbm);
   rss_dbm_.emplace_back(nodes_.size(), kUnreachableDbm);
   reach_.emplace_back();  // new node is unreachable by default
+  reach_gen_.push_back(0);
   return id;
 }
 
@@ -44,8 +49,10 @@ void Channel::update_reach(NodeId a, NodeId b) {
   const bool now = rss_mw(a, b) >= hear_floor_mw_;
   if (now && !was) {
     r.insert(it, b);
+    ++reach_gen_[static_cast<std::size_t>(a)];
   } else if (!now && was) {
     r.erase(it);
+    ++reach_gen_[static_cast<std::size_t>(a)];
   }
 }
 
@@ -123,8 +130,14 @@ void Channel::start_tx(NodeId tx, const Frame& frame_in, TimeNs duration) {
   update_busy(tx);
 
   // Snapshot the reach index (ascending node order keeps RNG draw order
-  // identical to a full scan) so end_tx undoes exactly this fan-out.
-  txs.active_rx = reach_[static_cast<std::size_t>(tx)];
+  // identical to a full scan) so end_tx undoes exactly this fan-out. In
+  // the steady state the topology does not change between frames, so the
+  // snapshot from the previous frame is still exact and the copy is
+  // skipped (the generation bumps on any reach membership change).
+  if (txs.active_rx_gen != reach_gen_[static_cast<std::size_t>(tx)]) {
+    txs.active_rx = reach_[static_cast<std::size_t>(tx)];
+    txs.active_rx_gen = reach_gen_[static_cast<std::size_t>(tx)];
+  }
   for (NodeId n : txs.active_rx) {
     double rss = rss_mw(tx, n);
     if (phy_.fading_sigma_db > 0.0) {
@@ -215,7 +228,9 @@ void Channel::end_tx(NodeId tx) {
     }
     update_busy(n);
   }
-  txs.active_rx.clear();
+  // active_rx is kept (not cleared): it stays a valid snapshot for the
+  // next frame unless the reach index changes, which start_tx detects via
+  // the generation counter.
   txs.transmitting = false;
   update_busy(tx);
 }

@@ -109,8 +109,12 @@ class Channel {
     Frame cur_frame;
     /// Receivers of this node's current transmission, snapshotted from the
     /// reach index at start_tx so end_tx visits exactly the nodes that got
-    /// the frame even if RSS is edited mid-flight. Reused across frames.
+    /// the frame even if RSS is edited mid-flight. Reused across frames,
+    /// and re-copied only when the reach index actually changed since the
+    /// last snapshot (see active_rx_gen).
     std::vector<NodeId> active_rx;
+    /// Reach-index generation active_rx was snapshotted at; ~0 = never.
+    std::uint64_t active_rx_gen = ~std::uint64_t{0};
 
     [[nodiscard]] double energy_mw() const {
       double e = 0.0;
@@ -143,6 +147,10 @@ class Channel {
   /// above the hear floor, ascending. Maintained incrementally by
   /// set_rss_dbm so start_tx/end_tx fan out over O(degree) nodes, not O(N).
   std::vector<std::vector<NodeId>> reach_;
+  /// Per-transmitter reach generation, bumped on every membership change;
+  /// start_tx skips the active_rx copy when the generation is unchanged
+  /// (steady-state topologies pay the snapshot once, not per frame).
+  std::vector<std::uint64_t> reach_gen_;
   std::uint64_t next_frame_id_ = 1;
   std::uint64_t corrupted_ = 0;
   double noise_mw_ = 0.0;

@@ -72,12 +72,43 @@ void ProbeAgent::configure(double period_s, std::vector<Rate> data_rates,
   data_probe_bytes_ = data_probe_payload + 28;  // IP+UDP headers
 }
 
-void ProbeAgent::start() {
+double ProbeAgent::next_uniform() {
+  if (prefetch_next_ < prefetch_.size()) {
+    const double u = prefetch_[prefetch_next_++];
+    if (prefetch_next_ == prefetch_.size()) {
+      prefetch_.clear();  // fully drained: reclaim for the next top-up
+      prefetch_next_ = 0;
+    }
+    return u;
+  }
+  return rng_.uniform();
+}
+
+void ProbeAgent::prefetch_uniforms(int n) {
+  prefetch_.reserve(prefetch_.size() + static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) prefetch_.push_back(rng_.uniform());
+}
+
+void ProbeAgent::start(int window_ticks) {
+  if (window_ticks > 0) {
+    // Top the batch up to one window of future draws (phase and jitter
+    // share the stream, so a plain count covers both). Compact the
+    // consumed prefix first — it otherwise random-walks upward across
+    // rounds, since whether a round drains the batch exactly is a coin
+    // flip.
+    prefetch_.erase(prefetch_.begin(),
+                    prefetch_.begin() +
+                        static_cast<std::ptrdiff_t>(prefetch_next_));
+    prefetch_next_ = 0;
+    if (prefetch_.size() < static_cast<std::size_t>(window_ticks))
+      prefetch_uniforms(window_ticks -
+                        static_cast<int>(prefetch_.size()));
+  }
   if (running_) return;
   running_ = true;
   // Random phase so that probing nodes do not synchronize.
-  tick_ev_ = net_.sim().schedule(seconds(rng_.uniform() * period_s_),
-                                 [this] { tick(); });
+  tail_time_ = net_.sim().now() + seconds(next_uniform() * period_s_);
+  tick_ev_ = net_.sim().schedule_at(tail_time_, [this] { tick(); });
 }
 
 void ProbeAgent::stop() {
@@ -118,11 +149,18 @@ void ProbeAgent::tick() {
   // ACK-sized probe at base rate (pACK measurement).
   send_probe(Rate::kR1Mbps, ProbeKind::kAckProbe, 14);
 
+  schedule_next_tick();
+}
+
+void ProbeAgent::schedule_next_tick() {
   // +/-10% per-tick jitter: simulated clocks are perfect, so without it
   // two hidden probing nodes can phase-lock and collide on every probe.
-  const double jitter = 0.9 + 0.2 * rng_.uniform();
-  tick_ev_ =
-      net_.sim().schedule(seconds(period_s_ * jitter), [this] { tick(); });
+  // The value comes from next_uniform() — the prefetched batch when one
+  // is pending — and a tick fires exactly at its scheduled time, so the
+  // recurrence below is the incremental arithmetic verbatim.
+  const double jitter = 0.9 + 0.2 * next_uniform();
+  tail_time_ += seconds(period_s_ * jitter);
+  tick_ev_ = net_.sim().schedule_at(tail_time_, [this] { tick(); });
 }
 
 // ---------------------------------------------------------------- monitor

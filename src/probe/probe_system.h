@@ -69,7 +69,24 @@ class ProbeAgent {
   /// `data_rates` plus one ACK probe at 1 Mb/s.
   void configure(double period_s, std::vector<Rate> data_rates,
                  int data_probe_payload = 1470);
-  void start();
+
+  /// Start probing. With `window_ticks > 0` the agent pre-draws one
+  /// estimation window's worth of RNG values in a single batched pass;
+  /// the per-tick work during the window is then a FIFO pop + one raw
+  /// schedule_at, with no RNG draws and no closure rebuild. With
+  /// `window_ticks == 0` (the legacy mode) every draw happens per tick.
+  /// Calling start(window_ticks) on a RUNNING agent tops the batch back
+  /// up — the controller does this every round, so steady-state rounds
+  /// stay batched.
+  ///
+  /// Timing is bit-identical whatever the batching and whatever the
+  /// start/stop call pattern: the batch holds raw uniform values in
+  /// stream order and EVERY internal draw (phase or jitter) is served
+  /// from it before touching the stream, so the k-th draw observes the
+  /// k-th stream value exactly as the incremental mode does — batching
+  /// moves WHEN values are drawn, never which value feeds which draw
+  /// (pinned by ProbeSystem.BatchedWindowTimingMatchesIncremental).
+  void start(int window_ticks = 0);
   void stop();
   [[nodiscard]] bool running() const { return running_; }
 
@@ -78,6 +95,14 @@ class ProbeAgent {
 
  private:
   void tick();
+  /// Next uniform value: served from the prefetched batch when one is
+  /// pending, else drawn from the stream directly. Either way the k-th
+  /// call observes the k-th stream value.
+  double next_uniform();
+  /// Pre-draw `n` more uniforms into the batch (one RNG pass).
+  void prefetch_uniforms(int n);
+  /// Compute the next tick time from tail_time_ and schedule it.
+  void schedule_next_tick();
 
   Network& net_;
   NodeId node_;
@@ -87,6 +112,14 @@ class ProbeAgent {
   int data_probe_bytes_ = 1470 + 28;  ///< + IP/UDP headers
   bool running_ = false;
   EventId tick_ev_ = kNoEvent;
+  /// Pre-drawn uniform values (FIFO, stream order); prefetch_next_
+  /// indexes the next to serve. Compacted on drain and at every top-up,
+  /// so storage stays bounded by one window.
+  std::vector<double> prefetch_;
+  std::size_t prefetch_next_ = 0;
+  /// Time of the newest computed tick; the recurrence
+  /// t_next = tail + seconds(period * jitter) continues from here.
+  TimeNs tail_time_ = 0;
   std::map<std::pair<std::uint8_t, std::uint8_t>, std::uint64_t> seq_;
 };
 

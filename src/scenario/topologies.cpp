@@ -60,4 +60,16 @@ std::pair<LinkRef, LinkRef> build_two_link(Workbench& wb,
   return {LinkRef{0, 1, rate_a}, LinkRef{2, 3, rate_b}};
 }
 
+void build_gateway_chain(Workbench& wb, double cross_rss_dbm) {
+  wb.add_nodes(4);
+  Channel& ch = wb.channel();
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = 0; b < 4; ++b)
+      if (a != b) ch.set_rss_dbm(a, b, -120.0);
+  ch.set_rss_symmetric_dbm(0, 1, -58.0);
+  ch.set_rss_symmetric_dbm(1, 2, -58.0);
+  ch.set_rss_symmetric_dbm(3, 2, cross_rss_dbm);
+  ch.set_rss_symmetric_dbm(1, 3, -70.0);
+}
+
 }  // namespace meshopt

@@ -55,4 +55,11 @@ std::pair<LinkRef, LinkRef> build_two_link(Workbench& wb,
                                            const TwoLinkParams& params,
                                            Rate rate_a, Rate rate_b);
 
+/// The 4-node "starvation gateway" scenario used across the control-plane
+/// tests, examples, and benches: chain 0-1-2 carrying a two-hop flow
+/// 0->1->2, plus a one-hop cross flow 3->2 whose link quality
+/// (`cross_rss_dbm`) sets how badly the chain starves. Adds the 4 nodes
+/// and writes the RSS matrix; flows/controllers are the caller's.
+void build_gateway_chain(Workbench& wb, double cross_rss_dbm = -56.0);
+
 }  // namespace meshopt

@@ -9,6 +9,7 @@
 // per-event node allocations. Closures up to EventAction::kInlineSize bytes
 // live inline in their slot; larger ones fall back to a single heap cell.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -154,6 +155,15 @@ class Simulator {
  public:
   using Action = EventAction;
 
+  Simulator() { constructed_count().fetch_add(1, std::memory_order_relaxed); }
+
+  /// Process-wide count of Simulator constructions. Diagnostics only: lets
+  /// tests pin that a pure-replay path (e.g. ControllerFleet::replay)
+  /// builds no simulator at all.
+  [[nodiscard]] static std::uint64_t constructed() {
+    return constructed_count().load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] TimeNs now() const { return now_; }
 
   /// Schedule `action` to run `delay` ns from now. Negative delays clamp to 0.
@@ -202,6 +212,11 @@ class Simulator {
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
+  [[nodiscard]] static std::atomic<std::uint64_t>& constructed_count() {
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+  }
+
   struct Slot {
     Action action;
     std::uint32_t gen = 0;

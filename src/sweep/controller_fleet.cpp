@@ -62,6 +62,28 @@ FleetResult run_cell(const FleetCell& cell, const SweepJob& job) {
   return result;
 }
 
+ReplayResult run_replay_cell(const ReplayCell& cell,
+                             const std::vector<MeasurementSnapshot>& trace,
+                             int index) {
+  ReplayResult result;
+  result.index = index;
+  result.plans.reserve(trace.size());
+
+  // The shared rounds are walked by reference — no snapshot (or LIR
+  // matrix) is copied per cell or per round. Consumers that want the
+  // cursor abstraction use a TraceSource over the same storage; the
+  // fleet's inner loop is the hot path, so it iterates directly.
+  bool all_ok = !trace.empty();
+  for (const MeasurementSnapshot& snap : trace) {
+    const InterferenceModel model =
+        InterferenceModel::build(snap, cell.interference);
+    result.plans.push_back(plan_rates(snap, model, cell.flows, cell.plan));
+    all_ok = all_ok && result.plans.back().ok;
+  }
+  result.ok = all_ok;
+  return result;
+}
+
 }  // namespace
 
 std::vector<FleetResult> ControllerFleet::run(
@@ -70,6 +92,18 @@ std::vector<FleetResult> ControllerFleet::run(
                      [&cells](const SweepJob& job) {
                        return run_cell(
                            cells[static_cast<std::size_t>(job.index)], job);
+                     });
+}
+
+std::vector<ReplayResult> ControllerFleet::replay(
+    const std::vector<ReplayCell>& cells,
+    const std::vector<MeasurementSnapshot>& trace) {
+  // Replay draws no randomness; the pool's per-job seed is unused.
+  return runner_.run(static_cast<int>(cells.size()), /*master_seed=*/0,
+                     [&cells, &trace](const SweepJob& job) {
+                       return run_replay_cell(
+                           cells[static_cast<std::size_t>(job.index)], trace,
+                           job.index);
                      });
 }
 

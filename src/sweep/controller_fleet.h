@@ -14,6 +14,16 @@
 // RatePlan — the full value-type record of what the controller measured
 // and decided — so fleet outputs can be serialized, replayed, or compared
 // offline without re-running the simulations.
+//
+// Replay mode (see ARCHITECTURE.md, "Trace & replay"): replay() plans a
+// recorded trace under a grid of objective/interference/flow variants
+// instead of simulating anything. Every cell walks the SAME shared
+// rounds by reference (zero copies), so an entire topology×objective
+// grid is pure plan_rates() work on the pool — no Simulator, no
+// Workbench, no RNG. One expensive recording run (a live fleet or a
+// MeshController in record_to() mode) then amortizes over thousands of
+// cheap planning runs, the record/replay methodology of fairness
+// studies over measured traces (arXiv:1002.1581).
 
 #include <cstdint>
 #include <functional>
@@ -60,6 +70,22 @@ struct FleetResult {
   RatePlan plan;                 ///< last computed plan
 };
 
+/// One replay cell: how to plan the shared recorded trace. There is no
+/// topology builder and no traffic — the snapshots already carry every
+/// measured input the model/plan stages need.
+struct ReplayCell {
+  std::vector<FlowSpec> flows;  ///< flows to plan (paths over trace links)
+  PlanConfig plan{};            ///< objective / optimizer tuning / headroom
+  InterferenceModelKind interference = InterferenceModelKind::kTwoHop;
+};
+
+/// Outcome of one replay cell: every round's plan, in trace order.
+struct ReplayResult {
+  int index = -1;               ///< cell position in the grid
+  bool ok = false;              ///< every round planned feasibly (and >0)
+  std::vector<RatePlan> plans;  ///< one per trace round
+};
+
 /// Runs fleets of independent controller loops on a SweepRunner pool.
 ///
 /// Thread-safety: same contract as SweepRunner — one run() at a time per
@@ -78,6 +104,20 @@ class ControllerFleet {
   ///       bit-for-bit independent of the thread count.
   [[nodiscard]] std::vector<FleetResult> run(
       const std::vector<FleetCell>& cells, std::uint64_t master_seed);
+
+  /// Plan the shared recorded `trace` under every replay cell, on the
+  /// pool. The trace is borrowed for the duration of the call; each cell
+  /// walks the rounds by reference, copying nothing. Pure optimizer work:
+  /// constructs zero Simulators (pinned by tests/test_trace.cpp) and
+  /// draws no randomness, so results are bit-for-bit independent of the
+  /// thread count — and bit-identical to the live controller's plans when
+  /// a cell mirrors the recording run's flows and configuration.
+  ///
+  /// @post result.size() == cells.size(); result[i].index == i;
+  ///       result[i].plans.size() == trace.size().
+  [[nodiscard]] std::vector<ReplayResult> replay(
+      const std::vector<ReplayCell>& cells,
+      const std::vector<MeasurementSnapshot>& trace);
 
  private:
   SweepRunner runner_;

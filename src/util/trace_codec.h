@@ -1,0 +1,157 @@
+#pragma once
+// Binary measurement-trace codec (see ARCHITECTURE.md, "Trace & replay").
+//
+// A trace is a sequence of MeasurementSnapshot records — one per probing
+// window — recorded once from a live simulation and replayed many times as
+// pure optimizer input (TraceSource / ControllerFleet::replay). The format
+// is built for that asymmetry:
+//   * length-prefixed records in one flat stream: a reader can skip or
+//     mmap sequentially without parsing record interiors, and a truncated
+//     tail is detected by the length prefix, not by a parse failure deep
+//     inside a record,
+//   * exact-bit doubles: every double is stored as its IEEE-754 bit
+//     pattern (little-endian uint64), so decode(encode(s)) == s compares
+//     equal bit-for-bit — the property the live-vs-replay plan-identity
+//     tests pin,
+//   * a JSON interop path (trace_to_json / trace_from_json) reusing the
+//     snapshot's own %.17g schema from util/json.h, for hand inspection
+//     and cross-tool exchange. JSON round trips are exact too, just ~3x
+//     larger and slower.
+//
+// Layout (all integers little-endian):
+//   file   := header record*
+//   header := magic "MOTRACE1" (8 bytes) | u32 version (=1) | u32 flags (=0)
+//   record := u32 payload_bytes | payload
+// Snapshot payload:
+//   u32 link_count
+//     per link: i32 src | i32 dst | u32 rate | i32 retry_limit
+//               | f64 p_data | f64 p_ack | f64 p_link | f64 capacity_bps
+//   u32 neighbor_count, per pair: i32 a | i32 b
+//   f64 lir_threshold
+//   u32 lir_rows | u32 lir_cols | f64 * rows*cols (row-major)
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/snapshot.h"
+
+namespace meshopt {
+
+/// Trace container version written by this codec.
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+// -------------------------------------------------------------- in-memory
+
+/// Append one length-prefixed snapshot record to `out` (no file header).
+void trace_append_record(std::string& out, const MeasurementSnapshot& snap);
+
+/// The 16-byte trace file header.
+[[nodiscard]] std::string trace_header();
+
+/// Encode a whole trace (header + one record per snapshot).
+[[nodiscard]] std::string encode_trace(
+    const std::vector<MeasurementSnapshot>& rounds);
+
+/// Decode a whole trace buffer produced by encode_trace()/TraceWriter.
+/// @throws std::invalid_argument on a bad magic/version, a record length
+///         pointing past the end of the buffer (truncation), or a record
+///         whose payload is malformed.
+[[nodiscard]] std::vector<MeasurementSnapshot> decode_trace(
+    std::string_view bytes);
+
+// ------------------------------------------------------------------ files
+
+/// Sequential trace recorder. Records are appended with write(); the file
+/// header is emitted on construction. close() (or destruction) flushes.
+///
+/// The writer buffers each record in memory and appends it with a single
+/// stream write, so a crash mid-record leaves a cleanly detectable
+/// truncated tail rather than interleaved garbage.
+class TraceWriter {
+ public:
+  /// @throws std::runtime_error when the file cannot be created.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Append one snapshot record. @throws std::runtime_error on a short
+  /// write — the writer is then poisoned (further writes throw) so a
+  /// partial record can never be followed by a misaligned next record.
+  void write(const MeasurementSnapshot& snap);
+
+  /// Records written so far.
+  [[nodiscard]] int rounds() const { return rounds_; }
+
+  /// Flush and close; further write() calls throw.
+  void close();
+
+ private:
+  void* file_ = nullptr;  ///< FILE*, kept opaque to the header
+  std::string scratch_;   ///< per-record encode buffer, capacity reused
+  int rounds_ = 0;
+};
+
+/// Sequential trace reader over a file produced by TraceWriter (or
+/// encode_trace written to disk). Validates the header on construction and
+/// each record's length prefix before decoding it.
+class TraceReader {
+ public:
+  /// @throws std::runtime_error when the file cannot be opened;
+  /// @throws std::invalid_argument when the header is not a version-1
+  ///         meshopt trace.
+  explicit TraceReader(const std::string& path);
+  ~TraceReader();
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  /// Read the next record into `out`. Returns false at a clean
+  /// end-of-file. @throws std::invalid_argument on a truncated or
+  /// malformed record; @throws std::runtime_error on an I/O failure
+  /// (the file may be fine — do not treat it as corrupt). Any throw
+  /// poisons the reader (the stream position is no longer trustworthy);
+  /// subsequent next() calls throw std::runtime_error.
+  bool next(MeasurementSnapshot& out);
+
+  /// Records successfully decoded so far.
+  [[nodiscard]] int rounds_read() const { return rounds_; }
+
+ private:
+  bool next_impl(MeasurementSnapshot& out);
+
+  void* file_ = nullptr;  ///< FILE*
+  std::string scratch_;   ///< per-record decode buffer, capacity reused
+  /// Total file size / bytes consumed so far (header + records). 64-bit
+  /// so multi-GiB traces validate correctly on every platform.
+  long long file_bytes_ = 0;
+  long long consumed_ = 0;
+  int rounds_ = 0;
+  bool failed_ = false;  ///< poisoned by a record error; next() throws
+};
+
+/// Read a whole trace file into memory (TraceReader convenience).
+[[nodiscard]] std::vector<MeasurementSnapshot> read_trace(
+    const std::string& path);
+
+/// Write a whole trace file (TraceWriter convenience).
+void write_trace(const std::string& path,
+                 const std::vector<MeasurementSnapshot>& rounds);
+
+// ------------------------------------------------------------------ JSON
+
+/// Serialize a trace as a JSON document: {"version":1,"rounds":[...]} with
+/// each round in the MeasurementSnapshot::to_json schema. Doubles keep 17
+/// significant digits, so the JSON path round-trips bit-exactly too.
+[[nodiscard]] std::string trace_to_json(
+    const std::vector<MeasurementSnapshot>& rounds);
+
+/// Parse a document produced by trace_to_json().
+/// @throws std::invalid_argument on malformed input or a version mismatch.
+[[nodiscard]] std::vector<MeasurementSnapshot> trace_from_json(
+    std::string_view text);
+
+}  // namespace meshopt

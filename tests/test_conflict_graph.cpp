@@ -183,7 +183,7 @@ TEST(TwoHopConflicts, OneHopNeighborhoodConflicts) {
 }
 
 TEST(LirConflicts, ThresholdClassification) {
-  std::vector<std::vector<double>> lir = {
+  const DenseMatrix lir = {
       {1.0, 0.5, 0.97},
       {0.5, 1.0, 0.94},
       {0.97, 0.94, 1.0},
