@@ -37,6 +37,15 @@
 #include "probe/live_source.h"
 #include "util/trace_codec.h"
 #endif
+#if __has_include("core/planner.h")
+#define MESHOPT_BENCH_HAS_PLANNER 1
+#include "core/planner.h"
+#endif
+#if __has_include("scenario/dynamics.h")
+#define MESHOPT_BENCH_HAS_DYNAMICS 1
+#include "scenario/dynamics.h"
+#include "scenario/topologies.h"
+#endif
 
 #include "core/controller.h"
 #include "scenario/workbench.h"
@@ -499,6 +508,101 @@ void BM_FleetSweep(benchmark::State& state) {
                           static_cast<std::int64_t>(cells.size()));
 }
 BENCHMARK(BM_FleetSweep)->Arg(1)->Arg(4);
+#endif
+
+#ifdef MESHOPT_BENCH_HAS_PLANNER
+// Planner model cache on a constant-topology replay: a 16-round trace at
+// MIS/80-class scale (80 links, LIR density 0.5, K ~ 5.5k extreme points)
+// whose capacities drift every round while the topology holds. Arg(0)
+// runs the PR-4 replay inner loop's model work — a full
+// InterferenceModel::build (Bron–Kerbosch + matrix fill) per round.
+// Arg(1) runs the same rounds through a warm Planner: fingerprint lookup
+// + in-place member-cell capacity refresh, no enumeration, no refill.
+// items/s = model rounds per second; the Arg(1)/Arg(0) ratio is the
+// cached-replay speedup (plans are bit-identical either way,
+// tests/test_planner.cpp). The plan stage is deliberately excluded: at
+// K ~ 5.5k the LP dominates a full planned round and would mask what the
+// cache changes (see BENCH_core.json notes).
+std::vector<MeasurementSnapshot> mis80_trace(int rounds) {
+  RngStream rng(61, "bench-planner");
+  MeasurementSnapshot base;
+  const int links = 80;
+  for (int i = 0; i < links; ++i) {
+    SnapshotLink l;
+    l.src = i;
+    l.dst = i + 1;
+    l.rate = Rate::kR11Mbps;
+    l.estimate.capacity_bps = rng.uniform(0.5e6, 5e6);
+    base.links.push_back(l);
+  }
+  base.lir.resize(links, links, 1.0);
+  for (int i = 0; i < links; ++i)
+    for (int j = i + 1; j < links; ++j)
+      if (rng.bernoulli(0.5)) base.lir(i, j) = base.lir(j, i) = 0.4;
+
+  std::vector<MeasurementSnapshot> trace;
+  trace.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    MeasurementSnapshot snap = base;
+    for (SnapshotLink& l : snap.links)
+      l.estimate.capacity_bps *= rng.uniform(0.8, 1.2);
+    trace.push_back(std::move(snap));
+  }
+  return trace;
+}
+
+void BM_ReplayCachedModel(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  const std::vector<MeasurementSnapshot> trace = mis80_trace(16);
+  Planner planner(cached ? 4 : 0);
+  std::int64_t rounds = 0;
+  int extreme_points = 0;
+  for (auto _ : state) {
+    for (const MeasurementSnapshot& snap : trace) {
+      const InterferenceModel& model =
+          planner.model(snap, InterferenceModelKind::kLirTable);
+      extreme_points = model.extreme_points().rows();
+      benchmark::DoNotOptimize(model);
+      ++rounds;
+    }
+  }
+  state.SetItemsProcessed(rounds);
+  state.counters["K"] = extreme_points;
+}
+BENCHMARK(BM_ReplayCachedModel)->Arg(0)->Arg(1);
+#endif
+
+#ifdef MESHOPT_BENCH_HAS_DYNAMICS
+// A full controller round while a dynamics script is live: the gateway
+// scenario with a hidden interferer duty-cycling at the receiver and
+// random-walk loss drift on the chain's first hop. Compares against
+// BM_ControllerRound (the static scenario) to price what scripted churn
+// adds to the probing-window simulation.
+void BM_DynamicsRound(benchmark::State& state) {
+  Workbench wb(73);
+  build_bench_gateway(wb);
+  const NodeId jam = wb.channel().add_node(nullptr);
+  wb.channel().set_rss_dbm(jam, 2, -62.0);
+  MeshController ctl(wb.net(), bench_gateway_config(), 73);
+  add_bench_gateway_flows(wb, ctl);
+
+  const double window_s = ctl.probing_window_seconds();
+  DynamicsScript script;
+  // Interferer flapping + drift scripted far past any bench horizon.
+  script.merge(markov_interferer(jam, 2.0 * window_s, 2.0 * window_s,
+                                 4000.0 * window_s, RngStream(73, "jam")));
+  script.merge(random_walk_loss_drift(0, 1, Rate::kR1Mbps, 0.02, 0.01,
+                                      window_s, 4000.0 * window_s,
+                                      RngStream(73, "drift")));
+  DynamicsEngine dynamics(wb, std::move(script));
+  dynamics.arm();
+
+  for (auto _ : state) {
+    const RoundResult round = ctl.run_round(wb);
+    benchmark::DoNotOptimize(round);
+  }
+}
+BENCHMARK(BM_DynamicsRound);
 #endif
 
 void BM_ChannelLossEstimator(benchmark::State& state) {

@@ -12,7 +12,7 @@ namespace meshopt {
 
 MeshController::MeshController(Network& net, ControllerConfig cfg,
                                std::uint64_t seed)
-    : net_(net), cfg_(cfg), seed_(seed) {
+    : net_(net), cfg_(cfg), seed_(seed), planner_(cfg.planner_cache) {
   neighbor_pred_ = [this](NodeId a, NodeId b) {
     return net_.channel().decodable(a, b, Rate::kR1Mbps) ||
            net_.channel().decodable(b, a, Rate::kR1Mbps);
@@ -218,8 +218,11 @@ RoundResult MeshController::optimize_and_apply() {
     return round;
   }
 
-  const InterferenceModel model =
-      InterferenceModel::build(snapshot_, cfg_.interference);
+  // Model through the planner: rounds whose topology fingerprint matches
+  // the previous round reuse the cached MIS enumeration (bit-identical to
+  // an uncached InterferenceModel::build, pinned in tests/test_planner.cpp).
+  const InterferenceModel& model =
+      planner_.model(snapshot_, cfg_.interference);
   plan_ = plan_rates(snapshot_, model, flow_specs(), cfg_.plan());
   if (!plan_.ok) return round;
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/interference.h"
+#include "core/planner.h"
 #include "core/rate_plan.h"
 #include "core/snapshot.h"
 #include "estimation/capacity.h"
@@ -48,6 +49,10 @@ struct ControllerConfig {
   InterferenceModelKind interference = InterferenceModelKind::kTwoHop;
   /// Optional global scale-down of computed input rates (1.0 = none).
   double headroom = 1.0;
+  /// Planner model-cache entries (0 disables: every round re-enumerates).
+  /// Rounds whose snapshot keeps the previous topology fingerprint reuse
+  /// the cached MIS rows; plans are bit-identical either way.
+  std::size_t planner_cache = 4;
 
   /// The plan-stage slice of this config (optimizer + headroom).
   [[nodiscard]] PlanConfig plan() const {
@@ -160,6 +165,11 @@ class MeshController {
   }
   [[nodiscard]] const TopologyDb& topology() const { return topo_; }
 
+  /// The controller's model planner (cache accounting for experiments:
+  /// hits stay high while the sensed topology fingerprint is stable,
+  /// misses mark the rounds where churn forced a re-enumeration).
+  [[nodiscard]] const Planner& planner() const { return planner_; }
+
  private:
   ProbeAgent& ensure_agent(NodeId node);
   ProbeMonitor& ensure_monitor(NodeId node);
@@ -181,6 +191,7 @@ class MeshController {
   TopologyDb topo_;
   MeasurementSnapshot snapshot_;
   RatePlan plan_;
+  Planner planner_;
 
   DenseMatrix lir_table_;  ///< empty() until set_lir_table
   double lir_threshold_ = 0.95;

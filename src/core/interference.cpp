@@ -1,25 +1,54 @@
 #include "core/interference.h"
 
-#include "model/feasibility.h"
+#include <stdexcept>
 
 namespace meshopt {
 
 InterferenceModel InterferenceModel::build(const MeasurementSnapshot& snap,
                                            InterferenceModelKind kind,
                                            std::size_t mis_cap) {
+  return from_topology(build_topology(snap, kind, mis_cap),
+                       snap.capacities());
+}
+
+InterferenceTopology InterferenceModel::build_topology(
+    const MeasurementSnapshot& snap, InterferenceModelKind kind,
+    std::size_t mis_cap) {
   const bool use_lir =
       kind == InterferenceModelKind::kLirTable && !snap.lir.empty();
-  ConflictGraph conflicts =
+  InterferenceTopology topo;
+  topo.kind = use_lir ? InterferenceModelKind::kLirTable
+                      : InterferenceModelKind::kTwoHop;
+  topo.conflicts =
       use_lir ? build_lir_conflict_graph(snap.lir, snap.lir_threshold)
               : build_two_hop_conflict_graph(
                     snap.link_refs(), [&snap](NodeId a, NodeId b) {
                       return snap.is_neighbor(a, b);
                     });
-  DenseMatrix extreme_points =
-      build_extreme_point_matrix(snap.capacities(), conflicts, mis_cap);
-  return InterferenceModel(use_lir ? InterferenceModelKind::kLirTable
-                                   : InterferenceModelKind::kTwoHop,
-                           std::move(conflicts), std::move(extreme_points));
+  topo.mis_rows = topo.conflicts.independent_set_rows(mis_cap);
+  return topo;
+}
+
+InterferenceModel InterferenceModel::from_topology(
+    const InterferenceTopology& topo, const std::vector<double>& capacities) {
+  if (static_cast<int>(capacities.size()) != topo.conflicts.size())
+    throw std::invalid_argument(
+        "InterferenceModel: capacity arity != topology link count");
+  DenseMatrix extreme_points;
+  fill_extreme_point_matrix(capacities, topo.mis_rows, extreme_points);
+  return InterferenceModel(topo.kind, topo.conflicts,
+                           std::move(extreme_points));
+}
+
+InterferenceModel InterferenceModel::from_topology(
+    InterferenceTopology&& topo, const std::vector<double>& capacities) {
+  if (static_cast<int>(capacities.size()) != topo.conflicts.size())
+    throw std::invalid_argument(
+        "InterferenceModel: capacity arity != topology link count");
+  DenseMatrix extreme_points;
+  fill_extreme_point_matrix(capacities, topo.mis_rows, extreme_points);
+  return InterferenceModel(topo.kind, std::move(topo.conflicts),
+                           std::move(extreme_points));
 }
 
 }  // namespace meshopt

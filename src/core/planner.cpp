@@ -1,0 +1,97 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace meshopt {
+
+bool Planner::matches(const Entry& e, const MeasurementSnapshot& snap,
+                      InterferenceModelKind kind, std::size_t mis_cap) {
+  if (e.requested_kind != kind || e.mis_cap != mis_cap) return false;
+  if (e.links.size() != snap.links.size()) return false;
+  for (std::size_t i = 0; i < e.links.size(); ++i) {
+    const SnapshotLink& l = snap.links[i];
+    if (e.links[i].src != l.src || e.links[i].dst != l.dst ||
+        e.links[i].rate != l.rate)
+      return false;
+  }
+  return e.neighbors == snap.neighbors && e.lir == snap.lir &&
+         e.lir_threshold_bits ==
+             std::bit_cast<std::uint64_t>(snap.lir_threshold);
+}
+
+const InterferenceModel& Planner::model(const MeasurementSnapshot& snap,
+                                        InterferenceModelKind kind,
+                                        std::size_t mis_cap) {
+  caps_scratch_.clear();
+  caps_scratch_.reserve(snap.links.size());
+  for (const SnapshotLink& l : snap.links)
+    caps_scratch_.push_back(l.estimate.capacity_bps);
+
+  const std::uint64_t fp = snap.topology_fingerprint();
+  ++clock_;
+  for (Entry& e : entries_) {
+    if (e.fingerprint == fp && matches(e, snap, kind, mis_cap)) {
+      e.last_used = clock_;
+      ++stats_.hits;
+      // The topology fixes the nonzero positions, so the round's
+      // capacities overwrite exactly the member cells of the entry's
+      // matrix — bit-identical to a full refill, nnz writes instead of
+      // K x L.
+      refresh_extreme_point_matrix(caps_scratch_, e.topology.mis_rows,
+                                   e.model->extreme_points_);
+      return *e.model;
+    }
+  }
+
+  ++stats_.misses;
+  InterferenceTopology topo =
+      InterferenceModel::build_topology(snap, kind, mis_cap);
+  if (capacity_ == 0) {
+    // Nothing is stored: move the whole topology into the model.
+    uncached_.emplace(
+        InterferenceModel::from_topology(std::move(topo), caps_scratch_));
+    return *uncached_;
+  }
+  // The entry keeps the topology for future refreshes, so the model gets
+  // a copy of the conflict graph (a one-time cost per topology epoch).
+  InterferenceModel built =
+      InterferenceModel::from_topology(topo, caps_scratch_);
+  if (entries_.size() >= capacity_) {
+    auto victim = std::min_element(entries_.begin(), entries_.end(),
+                                   [](const Entry& a, const Entry& b) {
+                                     return a.last_used < b.last_used;
+                                   });
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  Entry e;
+  e.fingerprint = fp;
+  e.requested_kind = kind;
+  e.mis_cap = mis_cap;
+  e.links = snap.link_refs();
+  e.neighbors = snap.neighbors;
+  e.lir = snap.lir;
+  e.lir_threshold_bits = std::bit_cast<std::uint64_t>(snap.lir_threshold);
+  e.topology = std::move(topo);
+  e.model.emplace(std::move(built));
+  e.last_used = clock_;
+  entries_.push_back(std::move(e));
+  return *entries_.back().model;
+}
+
+RatePlan Planner::plan(const MeasurementSnapshot& snap,
+                       InterferenceModelKind kind,
+                       const std::vector<FlowSpec>& flows,
+                       const PlanConfig& cfg, std::size_t mis_cap) {
+  return plan_rates(snap, model(snap, kind, mis_cap), flows, cfg);
+}
+
+void Planner::clear() {
+  entries_.clear();
+  uncached_.reset();
+  clock_ = 0;
+  stats_ = PlannerStats{};
+}
+
+}  // namespace meshopt

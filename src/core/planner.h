@@ -1,0 +1,121 @@
+#pragma once
+// Planner — topology-keyed model cache for cheap re-planning under churn.
+//
+// The paper's controller re-plans every probing round, but the expensive
+// part of a round's model build — the conflict graph's maximal-independent-
+// set enumeration (Bron–Kerbosch, ~1 ms at MIS/80 scale) — depends only on
+// the snapshot's TOPOLOGY: link identities, the neighbor relation, and the
+// LIR table + threshold. Capacity estimates, which drift every round, only
+// feed the extreme-point matrix refill. The planner splits the build along
+// that line (InterferenceModel::build_topology / from_topology) and caches
+// the topology stage in a small LRU keyed by
+// MeasurementSnapshot::topology_fingerprint(), so
+//
+//   * a constant-topology trace replay pays Bron–Kerbosch once, then every
+//     further round is a matrix refill + plan (the ≥5x replay win at
+//     MIS/80-class topologies, BM_ReplayCachedModel),
+//   * a dynamic scenario (scenario/dynamics.h) pays a rebuild only at the
+//     rounds where a join/leave/RSS event actually changed the topology,
+//     and interferer/loss churn — which moves capacities, not the
+//     conflict graph — stays on the cached rows.
+//
+// Correctness contract: a cache hit requires BOTH the fingerprint and a
+// full structural comparison of the topology inputs to match (hash
+// collisions can degrade performance, never correctness), and the
+// two-stage build is the one-shot build by construction, so plans computed
+// through the planner are bit-identical to the uncached
+// InterferenceModel::build + plan_rates path (pinned in
+// tests/test_planner.cpp for live and replay paths).
+//
+// Thread-safety: none — one Planner per consumer, exactly like
+// NetworkOptimizer (fleet replay jobs each construct their own).
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/interference.h"
+#include "core/rate_plan.h"
+#include "core/snapshot.h"
+
+namespace meshopt {
+
+/// Cache accounting, cumulative since construction (or clear()).
+struct PlannerStats {
+  std::uint64_t hits = 0;       ///< model() calls served from the cache
+  std::uint64_t misses = 0;     ///< calls that ran Bron–Kerbosch
+  std::uint64_t evictions = 0;  ///< entries displaced by LRU pressure
+};
+
+/// Model/plan stages with a topology-keyed cache of the MIS enumeration.
+class Planner {
+ public:
+  /// `cache_entries` bounds the LRU; 0 disables caching entirely (every
+  /// model() call rebuilds — the uncached reference behavior).
+  explicit Planner(std::size_t cache_entries = 8)
+      : capacity_(cache_entries) {}
+
+  /// Build — or reuse — the interference model for `snap`. The returned
+  /// reference stays valid until the next model()/plan()/clear() call.
+  /// Output is bit-identical to InterferenceModel::build(snap, kind,
+  /// mis_cap) whether it hit or missed. A hit skips Bron–Kerbosch AND the
+  /// full matrix refill: since a topology fixes the extreme-point
+  /// matrix's nonzero positions, only the member cells are overwritten
+  /// with the round's capacities (refresh_extreme_point_matrix).
+  const InterferenceModel& model(const MeasurementSnapshot& snap,
+                                 InterferenceModelKind kind,
+                                 std::size_t mis_cap = 200000);
+
+  /// model() + plan_rates() in one call — the whole pure half of a
+  /// controller round over one snapshot.
+  [[nodiscard]] RatePlan plan(const MeasurementSnapshot& snap,
+                              InterferenceModelKind kind,
+                              const std::vector<FlowSpec>& flows,
+                              const PlanConfig& cfg,
+                              std::size_t mis_cap = 200000);
+
+  [[nodiscard]] const PlannerStats& stats() const { return stats_; }
+  /// Entries currently resident (<= capacity()).
+  [[nodiscard]] std::size_t cached_topologies() const {
+    return entries_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Drop every cached topology and reset the stats.
+  void clear();
+
+ private:
+  /// One cached topology stage plus the exact inputs it was built from
+  /// (the structural key that makes fingerprint collisions harmless) and
+  /// the entry-owned model whose matrix hits refresh in place.
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    InterferenceModelKind requested_kind = InterferenceModelKind::kTwoHop;
+    std::size_t mis_cap = 0;
+    std::vector<LinkRef> links;
+    std::vector<std::pair<NodeId, NodeId>> neighbors;
+    DenseMatrix lir;
+    std::uint64_t lir_threshold_bits = 0;
+    InterferenceTopology topology;
+    std::optional<InterferenceModel> model;
+    std::uint64_t last_used = 0;
+  };
+
+  [[nodiscard]] static bool matches(const Entry& e,
+                                    const MeasurementSnapshot& snap,
+                                    InterferenceModelKind kind,
+                                    std::size_t mis_cap);
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;  ///< LRU stamp source
+  PlannerStats stats_;
+  /// Holds the model when caching is disabled (capacity 0): cached models
+  /// live in their entries instead.
+  std::optional<InterferenceModel> uncached_;
+  std::vector<double> caps_scratch_;
+};
+
+}  // namespace meshopt

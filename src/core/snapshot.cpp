@@ -1,11 +1,27 @@
 #include "core/snapshot.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
 
 #include "util/json.h"
+#include "util/rng.h"
 
 namespace meshopt {
+
+namespace {
+
+// splitmix64 chaining over whole 64-bit values (endian-independent:
+// values, not memory, feed the mix) via the library's shared
+// RngStream::mix. One multiply-xor round per value keeps fingerprinting
+// an 80x80 LIR table in the tens of microseconds — it runs on every
+// planner lookup, i.e. every round.
+constexpr std::uint64_t kFpSeed = 1469598103934665603ULL;
+
+void fp_mix(std::uint64_t& h, std::uint64_t v) { h = RngStream::mix(h, v); }
+
+}  // namespace
 
 int MeasurementSnapshot::link_index(NodeId src, NodeId dst) const {
   for (std::size_t i = 0; i < links.size(); ++i) {
@@ -20,6 +36,30 @@ bool MeasurementSnapshot::is_neighbor(NodeId a, NodeId b) const {
   const std::pair<NodeId, NodeId> key =
       a < b ? std::pair{a, b} : std::pair{b, a};
   return std::binary_search(neighbors.begin(), neighbors.end(), key);
+}
+
+std::uint64_t MeasurementSnapshot::topology_fingerprint() const {
+  std::uint64_t h = kFpSeed;
+  fp_mix(h, links.size());
+  for (const SnapshotLink& l : links) {
+    fp_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(l.src)));
+    fp_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(l.dst)));
+    fp_mix(h, static_cast<std::uint64_t>(l.rate));
+  }
+  fp_mix(h, neighbors.size());
+  for (const auto& [a, b] : neighbors) {
+    fp_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)));
+    fp_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(b)));
+  }
+  fp_mix(h, static_cast<std::uint64_t>(lir.rows()));
+  fp_mix(h, static_cast<std::uint64_t>(lir.cols()));
+  const double* lir_data = lir.data();
+  const std::size_t lir_cells =
+      static_cast<std::size_t>(lir.rows()) * static_cast<std::size_t>(lir.cols());
+  for (std::size_t i = 0; i < lir_cells; ++i)
+    fp_mix(h, std::bit_cast<std::uint64_t>(lir_data[i]));
+  fp_mix(h, std::bit_cast<std::uint64_t>(lir_threshold));
+  return h;
 }
 
 std::vector<double> MeasurementSnapshot::capacities() const {

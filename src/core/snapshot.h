@@ -9,6 +9,7 @@
 // JSON round trip) produces a bit-identical RatePlan — and lets many
 // snapshots from many networks be processed concurrently.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -60,6 +61,17 @@ struct MeasurementSnapshot {
 
   /// Symmetric neighbor lookup over the recorded relation.
   [[nodiscard]] bool is_neighbor(NodeId a, NodeId b) const;
+
+  /// 64-bit splitmix64-chained digest of the model-stage topology inputs
+  /// ONLY: link
+  /// identities (src, dst, rate), the neighbor relation, and the LIR
+  /// table + threshold (exact double bit patterns). Capacity/loss
+  /// estimates and retry limits are deliberately excluded — they feed the
+  /// capacity and plan stages, not the conflict graph — so a snapshot
+  /// whose measurements drift while its topology holds keeps the same
+  /// fingerprint, and the planner's model cache stays hot under load
+  /// churn (see core/planner.h for the collision-safety contract).
+  [[nodiscard]] std::uint64_t topology_fingerprint() const;
 
   /// Per-link capacity estimates (bits/s), in `links` order.
   [[nodiscard]] std::vector<double> capacities() const;

@@ -210,6 +210,13 @@ void ConflictGraph::for_each_independent_set_row(
   bk.run([&emit](const std::uint64_t* bits) { emit(bits); });
 }
 
+MisRowSet ConflictGraph::independent_set_rows(std::size_t cap) const {
+  MisRowSet rows(n_);
+  for_each_independent_set_row(
+      [&rows](const std::uint64_t* bits) { rows.append(bits); }, cap);
+  return rows;
+}
+
 ConflictGraph build_lir_conflict_graph(const DenseMatrix& lir,
                                        double threshold) {
   if (lir.rows() != lir.cols())

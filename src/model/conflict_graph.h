@@ -20,6 +20,42 @@
 
 namespace meshopt {
 
+/// Packed maximal-independent-set rows, in Bron–Kerbosch enumeration
+/// order: row k occupies words [k*row_words(), (k+1)*row_words()), bit j
+/// of word j/64 set iff link j belongs to set k. This is the cacheable
+/// product of one enumeration — the topology-dependent half of the
+/// extreme-point build (see core/planner.h): capacities can be re-applied
+/// to the same rows round after round without re-running Bron–Kerbosch.
+class MisRowSet {
+ public:
+  MisRowSet() = default;
+  explicit MisRowSet(int num_links)
+      : num_links_(num_links < 0 ? 0 : num_links),
+        words_((num_links_ + 63) / 64) {}
+
+  /// Append one packed row (row_words() words, copied).
+  void append(const std::uint64_t* bits) {
+    bits_.insert(bits_.end(), bits, bits + words_);
+    ++count_;
+  }
+
+  [[nodiscard]] int count() const { return count_; }
+  [[nodiscard]] int num_links() const { return num_links_; }
+  [[nodiscard]] int row_words() const { return words_; }
+  [[nodiscard]] const std::uint64_t* row(int k) const {
+    return bits_.data() +
+           static_cast<std::size_t>(k) * static_cast<std::size_t>(words_);
+  }
+
+  friend bool operator==(const MisRowSet&, const MisRowSet&) = default;
+
+ private:
+  int num_links_ = 0;
+  int words_ = 0;
+  int count_ = 0;
+  std::vector<std::uint64_t> bits_;  ///< count_ rows of words_ words each
+};
+
 /// Adjacency is stored as packed 64-bit bitset rows (row i, bit j set when
 /// links i and j conflict), so set operations in the enumeration are word-
 /// parallel AND/ANDNOT + popcount instead of per-vertex scans.
@@ -59,6 +95,12 @@ class ConflictGraph {
   void for_each_independent_set_row(
       const std::function<void(const std::uint64_t* bits)>& emit,
       std::size_t cap = 200000) const;
+
+  /// Materialize the enumeration into a MisRowSet (rows copied in
+  /// enumeration order). This is what the planner caches so constant-
+  /// topology rounds skip Bron–Kerbosch entirely; one-shot consumers keep
+  /// streaming through for_each_independent_set_row / the matrix bridge.
+  [[nodiscard]] MisRowSet independent_set_rows(std::size_t cap = 200000) const;
 
   /// Number of 64-bit words per adjacency row.
   [[nodiscard]] int row_words() const { return words_; }

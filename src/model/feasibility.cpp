@@ -36,6 +36,41 @@ DenseMatrix build_extreme_point_matrix(const std::vector<double>& capacities,
   return points;
 }
 
+void fill_extreme_point_matrix(const std::vector<double>& capacities,
+                               const MisRowSet& rows, DenseMatrix& out) {
+  const int l = static_cast<int>(capacities.size());
+  if (rows.num_links() != l)
+    throw std::invalid_argument(
+        "extreme points: MIS row width != link count");
+  // Zero everything, then scatter via the refresh path — sharing the one
+  // scatter loop makes "refresh is bit-identical to a full refill" true
+  // by construction.
+  out.resize(rows.count(), l, 0.0);
+  refresh_extreme_point_matrix(capacities, rows, out);
+}
+
+void refresh_extreme_point_matrix(const std::vector<double>& capacities,
+                                  const MisRowSet& rows, DenseMatrix& out) {
+  const int l = static_cast<int>(capacities.size());
+  if (rows.num_links() != l || out.rows() != rows.count() || out.cols() != l)
+    throw std::invalid_argument(
+        "extreme points: refresh shape mismatch with MIS rows");
+  const int words = rows.row_words();
+  const double* caps = capacities.data();
+  for (int k = 0; k < rows.count(); ++k) {
+    const std::uint64_t* bits = rows.row(k);
+    double* row = out.row(k);
+    for (int w = 0; w < words; ++w) {
+      std::uint64_t word = bits[w];
+      while (word != 0) {
+        const int link = w * 64 + std::countr_zero(word);
+        word &= word - 1;
+        row[link] = caps[link];
+      }
+    }
+  }
+}
+
 std::vector<std::vector<double>> build_extreme_points(
     const std::vector<double>& capacities, const ConflictGraph& conflicts) {
   const int l = static_cast<int>(capacities.size());

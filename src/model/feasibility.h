@@ -25,6 +25,26 @@ namespace meshopt {
     const std::vector<double>& capacities, const ConflictGraph& conflicts,
     std::size_t cap = 200000);
 
+/// Eq. (4) capacity stage on pre-enumerated rows: refill `out` (resized to
+/// rows.count() x capacities.size(); same-shape refills reuse capacity)
+/// with each member link's capacity. Row order is the rows' enumeration
+/// order, so the result is bit-identical to build_extreme_point_matrix
+/// over the graph the rows were enumerated from with the same cap — the
+/// contract the planner's topology-keyed cache relies on.
+void fill_extreme_point_matrix(const std::vector<double>& capacities,
+                               const MisRowSet& rows, DenseMatrix& out);
+
+/// In-place capacity refresh of a matrix previously produced by
+/// fill_extreme_point_matrix (or build_extreme_point_matrix) over the SAME
+/// rows: overwrites each member cell with its link's fresh capacity and
+/// touches nothing else. Because a topology fixes the nonzero positions,
+/// skipping the zero cells is bit-identical to a full refill while writing
+/// only nnz cells instead of K x L — the planner's hot path on a cache
+/// hit. @pre out is rows.count() x capacities.size() and was filled from
+/// `rows`.
+void refresh_extreme_point_matrix(const std::vector<double>& capacities,
+                                  const MisRowSet& rows, DenseMatrix& out);
+
 /// Eq. (4), legacy nested-vector output (rows in the sorted-set order of
 /// ConflictGraph::maximal_independent_sets()).
 ///

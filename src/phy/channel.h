@@ -56,6 +56,12 @@ class Channel {
 
   void set_error_model(std::shared_ptr<const ErrorModel> model);
   [[nodiscard]] const ErrorModel& error_model() const { return *error_; }
+  /// Shared handle to the installed model — lets a wrapper (e.g. the
+  /// dynamics engine's loss overlay) layer on top of it while keeping the
+  /// original alive.
+  [[nodiscard]] std::shared_ptr<const ErrorModel> error_model_ptr() const {
+    return error_;
+  }
 
   [[nodiscard]] const PhyParams& phy() const { return phy_; }
 

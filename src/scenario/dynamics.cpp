@@ -1,0 +1,295 @@
+#include "scenario/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "transport/udp.h"
+
+namespace meshopt {
+
+namespace {
+/// Far below every sensitivity/CS threshold: "cannot hear at all".
+constexpr double kGoneDbm = -200.0;
+/// An interferer must never overlap its own previous frame (the channel
+/// asserts single transmission per node), so duty is clamped below 1.
+constexpr double kMaxDuty = 0.95;
+}  // namespace
+
+// --------------------------------------------------------------- script
+
+DynamicsScript& DynamicsScript::add(NetEvent event) {
+  events.push_back(std::move(event));
+  sort_events();
+  return *this;
+}
+
+DynamicsScript& DynamicsScript::merge(const DynamicsScript& other) {
+  events.insert(events.end(), other.events.begin(), other.events.end());
+  sort_events();
+  return *this;
+}
+
+double DynamicsScript::horizon_s() const {
+  return events.empty() ? 0.0 : events.back().at_s;
+}
+
+void DynamicsScript::sort_events() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const NetEvent& a, const NetEvent& b) {
+                     return a.at_s < b.at_s;
+                   });
+}
+
+// ----------------------------------------------------------- generators
+
+DynamicsScript random_walk_loss_drift(NodeId src, NodeId dst, Rate rate,
+                                      double p0, double sigma,
+                                      double step_period_s, double duration_s,
+                                      RngStream rng, double start_s,
+                                      double p_max) {
+  if (step_period_s <= 0.0)
+    throw std::invalid_argument(
+        "random_walk_loss_drift: step_period_s must be > 0");
+  DynamicsScript script;
+  double p = std::clamp(p0, 0.0, p_max);
+  for (double t = start_s; t < start_s + duration_s; t += step_period_s) {
+    NetEvent e;
+    e.at_s = t;
+    e.kind = NetEventKind::kLinkLoss;
+    e.src = src;
+    e.dst = dst;
+    e.rate = rate;
+    e.value = p;
+    script.events.push_back(std::move(e));
+    p = std::clamp(p + rng.normal(0.0, sigma), 0.0, p_max);
+  }
+  return script;
+}
+
+DynamicsScript markov_interferer(NodeId node, double mean_on_s,
+                                 double mean_off_s, double duration_s,
+                                 RngStream rng, double start_s,
+                                 double period_s, double duty) {
+  if (mean_on_s <= 0.0 || mean_off_s <= 0.0 || period_s <= 0.0)
+    throw std::invalid_argument(
+        "markov_interferer: holding-time means and period must be > 0");
+  DynamicsScript script;
+  bool on = false;
+  double t = start_s + rng.exponential(mean_off_s);
+  const double end = start_s + duration_s;
+  while (t < end) {
+    NetEvent e;
+    e.at_s = t;
+    e.node = node;
+    if (!on) {
+      e.kind = NetEventKind::kInterfererOn;
+      e.period_s = period_s;
+      e.duty = duty;
+      t += rng.exponential(mean_on_s);
+    } else {
+      e.kind = NetEventKind::kInterfererOff;
+      t += rng.exponential(mean_off_s);
+    }
+    on = !on;
+    script.events.push_back(std::move(e));
+  }
+  if (on) {
+    // Close the timeline so the interferer never outlives its script.
+    NetEvent off;
+    off.at_s = end;
+    off.kind = NetEventKind::kInterfererOff;
+    off.node = node;
+    script.events.push_back(std::move(off));
+  }
+  return script;
+}
+
+DynamicsScript node_flap(NodeId node, double leave_s, double rejoin_s) {
+  DynamicsScript script;
+  NetEvent leave;
+  leave.at_s = leave_s;
+  leave.kind = NetEventKind::kNodeLeave;
+  leave.node = node;
+  script.events.push_back(std::move(leave));
+  if (rejoin_s >= 0.0) {
+    NetEvent join;
+    join.at_s = rejoin_s;
+    join.kind = NetEventKind::kNodeJoin;
+    join.node = node;
+    script.add(std::move(join));  // add() keeps time order if rejoin < leave
+  }
+  return script;
+}
+
+// --------------------------------------------------------------- engine
+
+DynamicsEngine::DynamicsEngine(Workbench& wb, DynamicsScript script)
+    : wb_(wb), script_(std::move(script)) {}
+
+DynamicsEngine::~DynamicsEngine() {
+  for (EventId id : pending_) wb_.sim().cancel(id);
+  for (auto& [node, state] : interferers_) {
+    if (state.tick != kNoEvent) wb_.sim().cancel(state.tick);
+  }
+  // traffic_ sources stop themselves in their destructors.
+}
+
+void DynamicsEngine::arm() {
+  if (armed_) return;
+  armed_ = true;
+  pending_.reserve(script_.events.size());
+  for (std::size_t i = 0; i < script_.events.size(); ++i) {
+    const TimeNs when =
+        std::max(wb_.sim().now(), seconds(script_.events[i].at_s));
+    pending_.push_back(wb_.sim().schedule_at(
+        when, [this, i] { apply(script_.events[i]); }));
+  }
+}
+
+void DynamicsEngine::apply(const NetEvent& event) {
+  ++applied_;
+  switch (event.kind) {
+    case NetEventKind::kNodeLeave:
+      node_leave(event.node);
+      break;
+    case NetEventKind::kNodeJoin:
+      node_join(event.node);
+      break;
+    case NetEventKind::kLinkRss:
+      wb_.channel().set_rss_symmetric_dbm(event.src, event.dst, event.value);
+      break;
+    case NetEventKind::kLinkLoss:
+      losses().set(event.src, event.dst, event.rate, event.value);
+      break;
+    case NetEventKind::kInterfererOn:
+      interferer_on(event);
+      break;
+    case NetEventKind::kInterfererOff:
+      interferer_off(event.node);
+      break;
+    case NetEventKind::kTrafficStart:
+      traffic_start(event);
+      break;
+    case NetEventKind::kTrafficStop:
+      traffic_stop(event.traffic_id);
+      break;
+  }
+}
+
+void DynamicsEngine::node_leave(NodeId node) {
+  if (left_.contains(node)) return;  // already gone
+  Channel& ch = wb_.channel();
+  std::vector<std::pair<double, double>> saved;
+  const int n = ch.node_count();
+  saved.reserve(static_cast<std::size_t>(n));
+  for (NodeId m = 0; m < n; ++m) {
+    if (m == node) {
+      saved.emplace_back(kGoneDbm, kGoneDbm);  // placeholder, keeps indexing
+      continue;
+    }
+    saved.emplace_back(ch.rss_dbm(node, m), ch.rss_dbm(m, node));
+    ch.set_rss_dbm(node, m, kGoneDbm);
+    ch.set_rss_dbm(m, node, kGoneDbm);
+  }
+  left_.insert_or_assign(node, std::move(saved));
+}
+
+void DynamicsEngine::node_join(NodeId node) {
+  const auto it = left_.find(node);
+  if (it == left_.end()) return;  // never left
+  Channel& ch = wb_.channel();
+  const auto& saved = it->second;
+  for (NodeId m = 0; m < static_cast<NodeId>(saved.size()); ++m) {
+    if (m == node) continue;
+    ch.set_rss_dbm(node, m, saved[static_cast<std::size_t>(m)].first);
+    ch.set_rss_dbm(m, node, saved[static_cast<std::size_t>(m)].second);
+  }
+  left_.erase(it);
+}
+
+DynamicsEngine::OverlayErrorModel& DynamicsEngine::losses() {
+  if (!losses_) {
+    losses_ = std::make_shared<OverlayErrorModel>(
+        wb_.channel().error_model_ptr());
+    wb_.channel().set_error_model(losses_);
+  }
+  return *losses_;
+}
+
+void DynamicsEngine::interferer_on(const NetEvent& event) {
+  InterfererState& state = interferers_[event.node];
+  // A non-positive period would make the tick reschedule itself at the
+  // same simulated instant and wedge the run; clamp hand-written events
+  // (the generators reject bad periods at generation time).
+  state.period_s = std::max(event.period_s, 1e-6);
+  state.duty = std::min(event.duty, kMaxDuty);
+  if (state.active) return;  // retrigger: keep the running cadence phase
+  state.active = true;
+  interferer_tick(event.node);
+}
+
+void DynamicsEngine::interferer_off(NodeId node) {
+  const auto it = interferers_.find(node);
+  if (it == interferers_.end()) return;
+  it->second.active = false;
+  if (it->second.tick != kNoEvent) {
+    wb_.sim().cancel(it->second.tick);
+    it->second.tick = kNoEvent;
+  }
+}
+
+void DynamicsEngine::interferer_tick(NodeId node) {
+  InterfererState& state = interferers_[node];
+  if (!state.active) return;
+  const double air_s = state.duty * state.period_s;
+  Frame f;
+  // Addressed to the transmitter itself: no receiver matches, so nothing
+  // is delivered upward — the frame exists purely as foreign energy
+  // (carrier sense + SINR corruption at whoever hears it).
+  f.dst = node;
+  f.type = FrameType::kData;
+  f.rate = Rate::kR1Mbps;
+  f.air_bytes = std::max(1, static_cast<int>(rate_bps(f.rate) * air_s / 8.0));
+  wb_.channel().start_tx(node, f, seconds(air_s));
+  state.tick = wb_.sim().schedule(seconds(state.period_s),
+                                  [this, node] { interferer_tick(node); });
+}
+
+void DynamicsEngine::traffic_start(const NetEvent& event) {
+  if (event.path.size() < 2) return;
+  // A re-start of a known id resumes the existing source (same flow, so
+  // delivery accounting stays continuous across on/off cycles) at the
+  // event's rate; the path is fixed by the first start.
+  const auto existing = traffic_.find(event.traffic_id);
+  if (existing != traffic_.end()) {
+    existing->second->set_rate_bps(event.value);
+    if (!existing->second->running()) existing->second->start();
+    return;
+  }
+  Network& net = wb_.net();
+  net.set_path_routes(event.path, event.rate);
+  const int flow = net.open_flow(event.path.front(), event.path.back(),
+                                 Protocol::kUdp, event.payload_bytes);
+  auto source = std::make_unique<UdpSource>(
+      net, flow, UdpMode::kCbr, event.value,
+      RngStream(wb_.seed(),
+                "dyn-traffic-" + std::to_string(event.traffic_id)));
+  source->start();
+  traffic_.insert_or_assign(event.traffic_id, std::move(source));
+}
+
+void DynamicsEngine::traffic_stop(int traffic_id) {
+  const auto it = traffic_.find(traffic_id);
+  if (it == traffic_.end()) return;
+  it->second->stop();
+}
+
+bool DynamicsEngine::interferer_active(NodeId node) const {
+  const auto it = interferers_.find(node);
+  return it != interferers_.end() && it->second.active;
+}
+
+}  // namespace meshopt

@@ -1,0 +1,218 @@
+#pragma once
+// Dynamics subsystem — scripted network churn for online-optimization
+// studies (see ARCHITECTURE.md, "Dynamics & planner cache").
+//
+// The paper's whole premise is ONLINE optimization: the controller must
+// keep re-planning as measured link conditions drift (the control-theoretic
+// framing of arXiv:1203.2970, the time-varying fairness studies of
+// arXiv:1002.1581). A DynamicsScript is a timeline of NetEvents — node
+// join/leave, link-quality steps and drift, external interferers flapping
+// on/off, traffic flows starting and stopping — that a DynamicsEngine arms
+// on a Workbench's simulator so the scenario actually varies mid-run while
+// a MeshController keeps sensing and re-planning over it.
+//
+// Determinism contract: the engine draws NO randomness at run time. Every
+// stochastic perturbation is expanded into concrete timed events at script
+// GENERATION time by the generator functions below, each a pure function
+// of its RngStream — so a script is a value, a fleet of dynamic scenarios
+// derives each cell's script from the cell seed, and runs are bit-identical
+// across thread counts (tests/test_dynamics.cpp).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "phy/radio.h"
+#include "scenario/workbench.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace meshopt {
+
+class UdpSource;
+
+/// What a timed event does to the running network.
+enum class NetEventKind : std::uint8_t {
+  kNodeLeave,      ///< node drops off the mesh (RSS rows/cols silenced)
+  kNodeJoin,       ///< node rejoins (RSS restored as saved at leave)
+  kLinkRss,        ///< set RSS of src->dst (symmetric) to `value` dBm
+  kLinkLoss,       ///< override channel loss of src->dst at `rate` to `value`
+  kInterfererOn,   ///< node starts duty-cycled foreign transmissions
+  kInterfererOff,  ///< node stops interfering
+  kTrafficStart,   ///< open (or resume) a UDP CBR flow along `path` at
+                   ///< `value` bits/s; re-starts of a `traffic_id` resume
+                   ///< the same flow at the new rate (path fixed by the
+                   ///< first start), so on/off cycles keep one accounting
+                   ///< record
+  kTrafficStop,    ///< pause the flow started under the same `traffic_id`
+};
+
+/// One timed change. Only the fields its kind reads are meaningful.
+struct NetEvent {
+  double at_s = 0.0;  ///< simulated time the change applies
+  NetEventKind kind = NetEventKind::kLinkRss;
+  NodeId node = -1;            ///< kNodeLeave/kNodeJoin/kInterferer* target
+  NodeId src = -1;             ///< kLinkRss / kLinkLoss
+  NodeId dst = -1;             ///< kLinkRss / kLinkLoss
+  Rate rate = Rate::kR1Mbps;   ///< kLinkLoss stream / kTrafficStart links
+  double value = 0.0;          ///< dBm (kLinkRss), probability (kLinkLoss),
+                               ///< bits/s (kTrafficStart)
+  /// kInterfererOn shape: one `duty * period_s` frame every `period_s`.
+  double period_s = 0.002;
+  double duty = 0.5;
+  int traffic_id = -1;             ///< kTrafficStart/kTrafficStop pairing
+  std::vector<NodeId> path;        ///< kTrafficStart node sequence src..dst
+  int payload_bytes = 1470;        ///< kTrafficStart UDP payload
+};
+
+/// A value-type event timeline, kept sorted by time (stable, so events at
+/// equal times apply in insertion order).
+struct DynamicsScript {
+  std::vector<NetEvent> events;
+
+  /// Append one event (re-sorts; scripts are built once, not hot).
+  DynamicsScript& add(NetEvent event);
+  /// Splice another script's events into this one.
+  DynamicsScript& merge(const DynamicsScript& other);
+  /// Time of the last event, 0 for an empty script.
+  [[nodiscard]] double horizon_s() const;
+
+ private:
+  void sort_events();
+};
+
+// ---------------------------------------------------------------------------
+// Perturbation generators: pure functions of an RngStream, expanding a
+// stochastic process into a concrete deterministic script.
+
+/// Random-walk channel-loss drift on the directed link src->dst at `rate`:
+/// starting from `p0`, every `step_period_s` the loss takes a normal step
+/// of deviation `sigma`, clamped to [0, p_max]. One kLinkLoss event per
+/// step over [start_s, start_s + duration_s).
+[[nodiscard]] DynamicsScript random_walk_loss_drift(
+    NodeId src, NodeId dst, Rate rate, double p0, double sigma,
+    double step_period_s, double duration_s, RngStream rng,
+    double start_s = 0.0, double p_max = 0.9);
+
+/// Markov on/off external interferer at `node`: exponential holding times
+/// with means `mean_on_s` / `mean_off_s`, starting off. Emits alternating
+/// kInterfererOn (with the given duty cycle shape) / kInterfererOff events
+/// over [start_s, start_s + duration_s).
+[[nodiscard]] DynamicsScript markov_interferer(
+    NodeId node, double mean_on_s, double mean_off_s, double duration_s,
+    RngStream rng, double start_s = 0.0, double period_s = 0.002,
+    double duty = 0.5);
+
+/// One leave/rejoin cycle for `node` (leave_s < rejoin_s; rejoin_s < 0
+/// leaves the node gone for good).
+[[nodiscard]] DynamicsScript node_flap(NodeId node, double leave_s,
+                                       double rejoin_s = -1.0);
+
+// ---------------------------------------------------------------------------
+
+/// Binds a script to a Workbench and applies its events at their simulated
+/// times. Construct after the topology is built, arm() before running.
+///
+/// Mechanics per kind:
+///  * kNodeLeave silences every RSS entry to and from the node (saving the
+///    previous values); kNodeJoin restores them exactly, so a leave/join
+///    cycle is RSS-transparent. Both drive the channel's reach index and
+///    hence the controller's sensed neighbor relation — the topology
+///    fingerprint changes, and the planner re-enumerates.
+///  * kLinkLoss installs (lazily, at arm) an overlay error model on top of
+///    the channel's current one; un-overridden pairs fall through.
+///  * kInterfererOn starts duty-cycled transmissions from `node` on the
+///    channel directly — use a passive channel node
+///    (Channel::add_node(nullptr)) placed by the scenario builder, so no
+///    MAC contends for it. Its frames are addressed to the interferer
+///    itself: nothing decodes them, but their energy raises carrier sense
+///    and corrupts overlapping receptions exactly like a foreign network.
+///  * kTrafficStart opens a UDP flow + CBR source owned by the engine;
+///    its RNG stream derives from (workbench seed, traffic_id), not from
+///    call order.
+///
+/// The engine must outlive any simulation it armed; its destructor cancels
+/// every pending event it scheduled.
+class DynamicsEngine {
+ public:
+  DynamicsEngine(Workbench& wb, DynamicsScript script);
+  ~DynamicsEngine();
+
+  DynamicsEngine(const DynamicsEngine&) = delete;
+  DynamicsEngine& operator=(const DynamicsEngine&) = delete;
+
+  /// Schedule every event at max(now, at_s). Call once.
+  void arm();
+
+  /// Events applied so far.
+  [[nodiscard]] int applied() const { return applied_; }
+  /// Is `node` currently transmitting as an interferer?
+  [[nodiscard]] bool interferer_active(NodeId node) const;
+  /// The script this engine was built with.
+  [[nodiscard]] const DynamicsScript& script() const { return script_; }
+
+ private:
+  /// Loss overlay: overridden (src, dst, rate) pairs hit the table, all
+  /// others fall through to the model that was installed before arm().
+  class OverlayErrorModel final : public ErrorModel {
+   public:
+    explicit OverlayErrorModel(std::shared_ptr<const ErrorModel> base)
+        : base_(std::move(base)) {}
+    void set(NodeId src, NodeId dst, Rate rate, double p) {
+      table_.set(src, dst, rate, p);
+      overridden_.insert_or_assign(key(src, dst, rate), true);
+    }
+    [[nodiscard]] double per(NodeId src, NodeId dst, Rate rate,
+                             FrameType type) const override {
+      const Rate r = type == FrameType::kAck ? Rate::kR1Mbps : rate;
+      if (overridden_.contains(key(src, dst, r)))
+        return table_.per(src, dst, rate, type);
+      return base_ ? base_->per(src, dst, rate, type) : 0.0;
+    }
+
+   private:
+    [[nodiscard]] static std::uint64_t key(NodeId s, NodeId d, Rate r) {
+      return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(s))
+              << 34) |
+             (static_cast<std::uint64_t>(static_cast<std::uint32_t>(d))
+              << 2) |
+             static_cast<std::uint64_t>(r);
+    }
+    std::shared_ptr<const ErrorModel> base_;
+    TableErrorModel table_;
+    std::map<std::uint64_t, bool> overridden_;
+  };
+
+  struct InterfererState {
+    bool active = false;
+    double period_s = 0.002;
+    double duty = 0.5;
+    EventId tick = kNoEvent;  ///< the pending self-rescheduled frame
+  };
+
+  void apply(const NetEvent& event);
+  void node_leave(NodeId node);
+  void node_join(NodeId node);
+  void interferer_on(const NetEvent& event);
+  void interferer_off(NodeId node);
+  void interferer_tick(NodeId node);
+  void traffic_start(const NetEvent& event);
+  void traffic_stop(int traffic_id);
+  OverlayErrorModel& losses();
+
+  Workbench& wb_;
+  DynamicsScript script_;
+  bool armed_ = false;
+  int applied_ = 0;
+  std::vector<EventId> pending_;  ///< script events awaiting their time
+  /// RSS rows/cols saved by the last kNodeLeave of each node:
+  /// (out = rss(node, m), in = rss(m, node)) for every other node m, in
+  /// node-id order at leave time.
+  std::map<NodeId, std::vector<std::pair<double, double>>> left_;
+  std::shared_ptr<OverlayErrorModel> losses_;
+  std::map<NodeId, InterfererState> interferers_;
+  std::map<int, std::unique_ptr<UdpSource>> traffic_;
+};
+
+}  // namespace meshopt

@@ -1,9 +1,12 @@
 #include "sweep/controller_fleet.h"
 
+#include <algorithm>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "core/planner.h"
 #include "transport/udp.h"
 
 namespace meshopt {
@@ -16,6 +19,15 @@ FleetResult run_cell(const FleetCell& cell, const SweepJob& job) {
 
   Workbench wb(job.seed);
   cell.build_topology(wb);
+
+  // Dynamics, when configured, are generated from the cell's derived seed
+  // and armed before any traffic or probing starts, so every event lands
+  // at the same simulated time whatever thread runs the cell.
+  std::optional<DynamicsEngine> dynamics;
+  if (cell.dynamics) {
+    dynamics.emplace(wb, cell.dynamics(job.seed));
+    dynamics->arm();
+  }
 
   MeshController ctl(wb.net(), cell.controller, job.seed);
   std::vector<std::unique_ptr<UdpSource>> sources;
@@ -62,28 +74,6 @@ FleetResult run_cell(const FleetCell& cell, const SweepJob& job) {
   return result;
 }
 
-ReplayResult run_replay_cell(const ReplayCell& cell,
-                             const std::vector<MeasurementSnapshot>& trace,
-                             int index) {
-  ReplayResult result;
-  result.index = index;
-  result.plans.reserve(trace.size());
-
-  // The shared rounds are walked by reference — no snapshot (or LIR
-  // matrix) is copied per cell or per round. Consumers that want the
-  // cursor abstraction use a TraceSource over the same storage; the
-  // fleet's inner loop is the hot path, so it iterates directly.
-  bool all_ok = !trace.empty();
-  for (const MeasurementSnapshot& snap : trace) {
-    const InterferenceModel model =
-        InterferenceModel::build(snap, cell.interference);
-    result.plans.push_back(plan_rates(snap, model, cell.flows, cell.plan));
-    all_ok = all_ok && result.plans.back().ok;
-  }
-  result.ok = all_ok;
-  return result;
-}
-
 }  // namespace
 
 std::vector<FleetResult> ControllerFleet::run(
@@ -97,14 +87,62 @@ std::vector<FleetResult> ControllerFleet::run(
 
 std::vector<ReplayResult> ControllerFleet::replay(
     const std::vector<ReplayCell>& cells,
-    const std::vector<MeasurementSnapshot>& trace) {
-  // Replay draws no randomness; the pool's per-job seed is unused.
-  return runner_.run(static_cast<int>(cells.size()), /*master_seed=*/0,
-                     [&cells, &trace](const SweepJob& job) {
-                       return run_replay_cell(
-                           cells[static_cast<std::size_t>(job.index)], trace,
-                           job.index);
-                     });
+    const std::vector<MeasurementSnapshot>& trace, const ReplayOptions& opts) {
+  const int rounds = static_cast<int>(trace.size());
+  const int seg =
+      opts.segment_rounds > 0 ? opts.segment_rounds : std::max(rounds, 1);
+
+  // One pool job per (cell, contiguous trace segment). Each job plans its
+  // rounds into the cell's pre-sized plans vector at the round's index, so
+  // segments stitch in round order by construction and no two jobs touch
+  // the same element.
+  struct Segment {
+    int cell = 0;
+    int lo = 0;
+    int hi = 0;
+  };
+  std::vector<Segment> jobs;
+  for (int c = 0; c < static_cast<int>(cells.size()); ++c) {
+    for (int lo = 0; lo < rounds; lo += seg)
+      jobs.push_back({c, lo, std::min(lo + seg, rounds)});
+  }
+
+  std::vector<ReplayResult> results(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    results[c].index = static_cast<int>(c);
+    results[c].plans.resize(static_cast<std::size_t>(rounds));
+  }
+  // Empty trace: results are already complete (no plans, ok = false below)
+  // — nothing to dispatch.
+  if (jobs.empty()) return results;
+
+  // Replay draws no randomness; the pool's per-job seed is unused. The
+  // shared rounds are walked by reference — no snapshot (or LIR matrix)
+  // is copied per cell, segment, or round.
+  runner_.run_raw(static_cast<int>(jobs.size()), /*master_seed=*/0,
+                  [&jobs, &cells, &trace, &results,
+                   &opts](const SweepJob& job) {
+                    const Segment& sj =
+                        jobs[static_cast<std::size_t>(job.index)];
+                    const ReplayCell& cell =
+                        cells[static_cast<std::size_t>(sj.cell)];
+                    std::vector<RatePlan>& plans =
+                        results[static_cast<std::size_t>(sj.cell)].plans;
+                    Planner planner(opts.planner_cache);
+                    for (int r = sj.lo; r < sj.hi; ++r) {
+                      plans[static_cast<std::size_t>(r)] =
+                          planner.plan(trace[static_cast<std::size_t>(r)],
+                                       cell.interference, cell.flows,
+                                       cell.plan);
+                    }
+                  });
+
+  for (ReplayResult& result : results) {
+    result.ok = rounds > 0;
+    for (const RatePlan& plan : result.plans)
+      result.ok = result.ok && plan.ok;
+  }
+  return results;
 }
 
 }  // namespace meshopt

@@ -25,11 +25,13 @@
 // cheap planning runs, the record/replay methodology of fairness
 // studies over measured traces (arXiv:1002.1581).
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "core/controller.h"
+#include "scenario/dynamics.h"
 #include "sweep/sweep_runner.h"
 
 namespace meshopt {
@@ -59,6 +61,12 @@ struct FleetCell {
   double lir_threshold = 0.95;
   int rounds = 1;       ///< controller rounds to run back to back
   double settle_s = 0.0;  ///< traffic warm-up before the first round
+  /// Optional dynamics: builds the cell's scripted event timeline from the
+  /// cell's derived seed (same splitmix64 derivation as everything else on
+  /// the pool, so generated perturbations — and therefore whole dynamic-
+  /// scenario fleets — are bit-identical across thread counts). The engine
+  /// is armed on the cell's Workbench before the first round.
+  std::function<DynamicsScript(std::uint64_t cell_seed)> dynamics;
 };
 
 /// Outcome of one cell: the last round's full control-plane record.
@@ -84,6 +92,20 @@ struct ReplayResult {
   int index = -1;               ///< cell position in the grid
   bool ok = false;              ///< every round planned feasibly (and >0)
   std::vector<RatePlan> plans;  ///< one per trace round
+};
+
+/// How replay work is cut into pool jobs.
+struct ReplayOptions {
+  /// > 0: shard each cell's trace into contiguous segments of at most this
+  /// many rounds, each dispatched as its own pool job, results stitched in
+  /// round order. 0 = one job per cell (a long trace with few cells leaves
+  /// workers idle; sharding fills them). Plans are bit-identical either
+  /// way: every round is a pure function of its snapshot, and the planner
+  /// cache never changes outputs — a segment boundary only costs one extra
+  /// cold MIS enumeration.
+  int segment_rounds = 0;
+  /// Planner model-cache entries per job (0 = uncached reference path).
+  std::size_t planner_cache = 8;
 };
 
 /// Runs fleets of independent controller loops on a SweepRunner pool.
@@ -113,11 +135,18 @@ class ControllerFleet {
   /// thread count — and bit-identical to the live controller's plans when
   /// a cell mirrors the recording run's flows and configuration.
   ///
+  /// Each job plans its rounds through a Planner, so constant-topology
+  /// stretches of the trace enumerate their MIS rows once and refresh
+  /// capacities thereafter; `opts` additionally shards long traces into
+  /// per-segment jobs (see ReplayOptions). Both are pure accelerations:
+  /// plans stay bit-identical to the uncached, unsharded walk.
+  ///
   /// @post result.size() == cells.size(); result[i].index == i;
   ///       result[i].plans.size() == trace.size().
   [[nodiscard]] std::vector<ReplayResult> replay(
       const std::vector<ReplayCell>& cells,
-      const std::vector<MeasurementSnapshot>& trace);
+      const std::vector<MeasurementSnapshot>& trace,
+      const ReplayOptions& opts = {});
 
  private:
   SweepRunner runner_;

@@ -1,0 +1,366 @@
+// Dynamics subsystem tests: script ordering/merging, generator
+// determinism (pure functions of the RNG stream), node leave/join RSS
+// save-restore exactness, loss-drift overlay semantics, interferer
+// carrier-sense effects, churn driving the topology fingerprint and the
+// planner cache, and dynamic-scenario fleet bit-identity across thread
+// counts.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "core/planner.h"
+#include "scenario/dynamics.h"
+#include "scenario/topologies.h"
+#include "scenario/workbench.h"
+#include "sweep/controller_fleet.h"
+#include "util/rng.h"
+
+namespace meshopt {
+namespace {
+
+TEST(DynamicsScript, AddAndMergeKeepTimeOrder) {
+  DynamicsScript script;
+  NetEvent late;
+  late.at_s = 5.0;
+  late.kind = NetEventKind::kNodeLeave;
+  late.node = 2;
+  NetEvent early;
+  early.at_s = 1.0;
+  early.kind = NetEventKind::kLinkRss;
+  early.src = 0;
+  early.dst = 1;
+  early.value = -70.0;
+  script.add(late).add(early);
+  ASSERT_EQ(script.events.size(), 2u);
+  EXPECT_EQ(script.events[0].kind, NetEventKind::kLinkRss);
+  EXPECT_EQ(script.events[1].kind, NetEventKind::kNodeLeave);
+  EXPECT_DOUBLE_EQ(script.horizon_s(), 5.0);
+
+  DynamicsScript other = node_flap(3, 0.5, 4.0);
+  script.merge(other);
+  ASSERT_EQ(script.events.size(), 4u);
+  EXPECT_DOUBLE_EQ(script.events[0].at_s, 0.5);  // leave
+  EXPECT_EQ(script.events[0].kind, NetEventKind::kNodeLeave);
+  EXPECT_DOUBLE_EQ(script.events[2].at_s, 4.0);  // rejoin
+  EXPECT_EQ(script.events[2].kind, NetEventKind::kNodeJoin);
+
+  // Stable sort: events at the same instant keep insertion order.
+  DynamicsScript same_time;
+  NetEvent a;
+  a.at_s = 2.0;
+  a.kind = NetEventKind::kInterfererOn;
+  a.node = 7;
+  NetEvent b;
+  b.at_s = 2.0;
+  b.kind = NetEventKind::kInterfererOff;
+  b.node = 7;
+  same_time.add(a).add(b);
+  EXPECT_EQ(same_time.events[0].kind, NetEventKind::kInterfererOn);
+  EXPECT_EQ(same_time.events[1].kind, NetEventKind::kInterfererOff);
+}
+
+TEST(DynamicsGenerators, DeterministicInSeedAndShapedRight) {
+  const auto drift_a = random_walk_loss_drift(
+      0, 1, Rate::kR11Mbps, 0.05, 0.02, 2.0, 40.0, RngStream(9, "drift"));
+  const auto drift_b = random_walk_loss_drift(
+      0, 1, Rate::kR11Mbps, 0.05, 0.02, 2.0, 40.0, RngStream(9, "drift"));
+  const auto drift_c = random_walk_loss_drift(
+      0, 1, Rate::kR11Mbps, 0.05, 0.02, 2.0, 40.0, RngStream(10, "drift"));
+  ASSERT_EQ(drift_a.events.size(), 20u);
+  for (std::size_t i = 0; i < drift_a.events.size(); ++i) {
+    const NetEvent& e = drift_a.events[i];
+    EXPECT_EQ(e.kind, NetEventKind::kLinkLoss);
+    EXPECT_GE(e.value, 0.0);
+    EXPECT_LE(e.value, 0.9);
+    // Same stream => identical script, bit for bit.
+    EXPECT_DOUBLE_EQ(e.value, drift_b.events[i].value);
+    EXPECT_DOUBLE_EQ(e.at_s, drift_b.events[i].at_s);
+  }
+  // A different seed genuinely moves the walk.
+  bool any_differs = false;
+  for (std::size_t i = 1; i < drift_a.events.size(); ++i)
+    any_differs = any_differs ||
+                  drift_a.events[i].value != drift_c.events[i].value;
+  EXPECT_TRUE(any_differs);
+
+  const auto mk = markov_interferer(4, 3.0, 5.0, 100.0, RngStream(9, "mk"));
+  const auto mk_same = markov_interferer(4, 3.0, 5.0, 100.0,
+                                         RngStream(9, "mk"));
+  ASSERT_GT(mk.events.size(), 1u);
+  ASSERT_EQ(mk.events.size(), mk_same.events.size());
+  // Alternating on/off starting with on; every event inside the horizon.
+  for (std::size_t i = 0; i < mk.events.size(); ++i) {
+    EXPECT_EQ(mk.events[i].kind, i % 2 == 0 ? NetEventKind::kInterfererOn
+                                            : NetEventKind::kInterfererOff);
+    EXPECT_LE(mk.events[i].at_s, 100.0);
+    EXPECT_DOUBLE_EQ(mk.events[i].at_s, mk_same.events[i].at_s);
+  }
+  // The timeline is closed: the last event switches the interferer off.
+  EXPECT_EQ(mk.events.back().kind, NetEventKind::kInterfererOff);
+}
+
+TEST(DynamicsEngine, NodeLeaveSilencesAndJoinRestoresExactly) {
+  Workbench wb(17);
+  build_gateway_chain(wb);
+  Channel& ch = wb.channel();
+  std::vector<double> before;
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = 0; b < 4; ++b) before.push_back(ch.rss_dbm(a, b));
+
+  DynamicsScript script = node_flap(3, 1.0, 2.0);
+  DynamicsEngine engine(wb, std::move(script));
+  engine.arm();
+
+  wb.run_for(1.5);  // leave applied
+  EXPECT_EQ(engine.applied(), 1);
+  for (NodeId m = 0; m < 4; ++m) {
+    if (m == 3) continue;
+    EXPECT_LE(ch.rss_dbm(3, m), -150.0) << "3->" << m;
+    EXPECT_LE(ch.rss_dbm(m, 3), -150.0) << m << "->3";
+  }
+  // Other links untouched.
+  EXPECT_DOUBLE_EQ(ch.rss_dbm(0, 1), -58.0);
+
+  wb.run_for(1.0);  // rejoin applied
+  EXPECT_EQ(engine.applied(), 2);
+  std::size_t i = 0;
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = 0; b < 4; ++b)
+      EXPECT_DOUBLE_EQ(ch.rss_dbm(a, b), before[i++]) << a << "->" << b;
+
+  // A second leave of an already-left node is a no-op (no double save),
+  // and joining a node that never left is a no-op too.
+  DynamicsScript again;
+  NetEvent leave;
+  leave.at_s = 3.0;
+  leave.kind = NetEventKind::kNodeLeave;
+  leave.node = 3;
+  NetEvent leave2 = leave;
+  leave2.at_s = 3.1;
+  NetEvent join_other;
+  join_other.at_s = 3.2;
+  join_other.kind = NetEventKind::kNodeJoin;
+  join_other.node = 1;
+  NetEvent join;
+  join.at_s = 3.3;
+  join.kind = NetEventKind::kNodeJoin;
+  join.node = 3;
+  again.add(leave).add(leave2).add(join_other).add(join);
+  DynamicsEngine engine2(wb, std::move(again));
+  engine2.arm();
+  wb.run_for(2.0);
+  EXPECT_EQ(engine2.applied(), 4);
+  i = 0;
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = 0; b < 4; ++b)
+      EXPECT_DOUBLE_EQ(ch.rss_dbm(a, b), before[i++]);
+}
+
+TEST(DynamicsEngine, LossOverlayOverridesAndFallsThrough) {
+  Workbench wb(19);
+  wb.add_nodes(2);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -58.0);
+  auto base = std::make_shared<TableErrorModel>();
+  base->set(0, 1, Rate::kR11Mbps, 0.25);
+  base->set(1, 0, Rate::kR11Mbps, 0.5);
+  wb.channel().set_error_model(base);
+
+  DynamicsScript script;
+  NetEvent e;
+  e.at_s = 1.0;
+  e.kind = NetEventKind::kLinkLoss;
+  e.src = 0;
+  e.dst = 1;
+  e.rate = Rate::kR11Mbps;
+  e.value = 0.8;
+  script.add(e);
+  DynamicsEngine engine(wb, std::move(script));
+  engine.arm();
+  wb.run_for(1.5);
+
+  const ErrorModel& model = wb.channel().error_model();
+  // Overridden pair reads the event's value.
+  EXPECT_DOUBLE_EQ(model.per(0, 1, Rate::kR11Mbps, FrameType::kData), 0.8);
+  // Everything else falls through to the pre-arm model.
+  EXPECT_DOUBLE_EQ(model.per(1, 0, Rate::kR11Mbps, FrameType::kData), 0.5);
+  EXPECT_DOUBLE_EQ(model.per(0, 1, Rate::kR1Mbps, FrameType::kData), 0.0);
+}
+
+TEST(DynamicsEngine, InterfererRaisesCarrierSenseWhileOn) {
+  // A passive interferer node heard at -70 dBm (above the -82 dBm CS
+  // threshold): while it duty-cycles, the victim's carrier must read busy
+  // during its frames; once off, it must go (and stay) idle.
+  Workbench wb(23);
+  wb.add_nodes(1);
+  const NodeId interferer = wb.channel().add_node(nullptr);
+  wb.channel().set_rss_dbm(interferer, 0, -70.0);
+
+  DynamicsScript script;
+  NetEvent on;
+  on.at_s = 1.0;
+  on.kind = NetEventKind::kInterfererOn;
+  on.node = interferer;
+  on.period_s = 0.01;
+  on.duty = 1.0;  // clamped to 0.95 internally: near-continuous jamming
+  NetEvent off;
+  off.at_s = 2.0;
+  off.kind = NetEventKind::kInterfererOff;
+  off.node = interferer;
+  script.add(on).add(off);
+  DynamicsEngine engine(wb, std::move(script));
+  engine.arm();
+
+  EXPECT_FALSE(engine.interferer_active(interferer));
+  // Sample mid-frame: at 95% duty, 2.5 ms into a 10 ms period is on-air.
+  wb.run_for(1.0025);
+  EXPECT_TRUE(engine.interferer_active(interferer));
+  EXPECT_TRUE(wb.channel().carrier_busy(0));
+  wb.run_for(1.5);  // past the off event
+  EXPECT_FALSE(engine.interferer_active(interferer));
+  EXPECT_FALSE(wb.channel().carrier_busy(0));
+}
+
+TEST(DynamicsEngine, TrafficStartStopDrivesAndHaltsAFlow) {
+  Workbench wb(29);
+  wb.add_nodes(2);
+  wb.channel().set_rss_symmetric_dbm(0, 1, -58.0);
+
+  DynamicsScript script;
+  NetEvent start;
+  start.at_s = 0.5;
+  start.kind = NetEventKind::kTrafficStart;
+  start.traffic_id = 1;
+  start.path = {0, 1};
+  start.rate = Rate::kR11Mbps;
+  start.value = 2e6;
+  NetEvent stop;
+  stop.at_s = 2.5;
+  stop.kind = NetEventKind::kTrafficStop;
+  stop.traffic_id = 1;
+  NetEvent restart = start;
+  restart.at_s = 5.5;
+  script.add(start).add(stop).add(restart);
+  DynamicsEngine engine(wb, std::move(script));
+  engine.arm();
+
+  wb.run_for(2.0);
+  ASSERT_EQ(wb.net().flow_count(), 1);
+  const std::uint64_t delivered_while_on = wb.net().flow(0).delivered_packets;
+  EXPECT_GT(delivered_while_on, 100u);  // ~2 Mb/s of 1470 B packets, 1.5 s
+
+  wb.run_for(2.0);  // stop applied at 2.5 s; let the queue drain
+  const std::uint64_t after_stop = wb.net().flow(0).delivered_packets;
+  wb.run_for(1.0);
+  EXPECT_LE(wb.net().flow(0).delivered_packets, after_stop + 5);
+
+  // Re-start of the same traffic_id resumes the SAME flow (one
+  // accounting record, no new flow) and traffic flows again.
+  wb.run_for(1.5);  // restart applied at 5.5 s
+  EXPECT_EQ(wb.net().flow_count(), 1);
+  EXPECT_GT(wb.net().flow(0).delivered_packets, after_stop + 100);
+}
+
+ControllerConfig churn_config() {
+  ControllerConfig cfg;
+  cfg.probe_period_s = 0.25;
+  cfg.probe_window = 40;
+  cfg.optimizer.objective = Objective::kProportionalFair;
+  return cfg;
+}
+
+TEST(DynamicsEngine, ChurnMovesFingerprintAndPlannerReacts) {
+  // Live controller over a gateway whose cross node flaps: rounds before
+  // the leave share one fingerprint (planner hits), the leave and rejoin
+  // rounds each force a miss, and the post-rejoin fingerprint matches the
+  // initial one (the topology genuinely restored => cache re-hit).
+  Workbench wb(37);
+  build_gateway_chain(wb);
+  MeshController ctl(wb.net(), churn_config(), 37);
+  ManagedFlow far;
+  far.flow_id = wb.net().open_flow(0, 2, Protocol::kUdp, 1470);
+  far.path = {0, 1, 2};
+  ctl.manage_flow(far);
+  ManagedFlow near;
+  near.flow_id = wb.net().open_flow(3, 2, Protocol::kUdp, 1470);
+  near.path = {3, 2};
+  ctl.manage_flow(near);
+
+  const double window_s = ctl.probing_window_seconds();  // 10 s
+  DynamicsScript script = node_flap(3, 2.2 * window_s, 4.2 * window_s);
+  DynamicsEngine engine(wb, std::move(script));
+  engine.arm();
+
+  std::vector<std::uint64_t> fingerprints;
+  for (int r = 0; r < 6; ++r) {
+    (void)ctl.run_round(wb);
+    fingerprints.push_back(ctl.snapshot().topology_fingerprint());
+  }
+  // Rounds 0-2 (leave applies during round 2's window): stable prefix.
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+  // The node-3-gone rounds differ from the stable prefix.
+  EXPECT_NE(fingerprints[3], fingerprints[0]);
+  // After rejoin the original topology (and fingerprint) returns.
+  EXPECT_EQ(fingerprints[5], fingerprints[0]);
+
+  // Planner saw exactly the distinct topology epochs, not one per round:
+  // misses = distinct fingerprints seen first, everything else hit.
+  const PlannerStats stats = ctl.planner().stats();
+  EXPECT_EQ(stats.hits + stats.misses, 6u);
+  EXPECT_GE(stats.hits, 3u);
+  EXPECT_LE(stats.misses, 3u);
+}
+
+TEST(DynamicsFleet, DynamicCellsBitIdenticalAcrossThreadCounts) {
+  // A fleet of dynamic scenarios: each cell derives its perturbations
+  // (interferer flapping + loss drift + a node flap) from its cell seed.
+  // Results on 1 worker and on 4 must be bit-for-bit identical.
+  auto make_cells = [] {
+    std::vector<FleetCell> cells;
+    for (int v = 0; v < 4; ++v) {
+      FleetCell cell;
+      cell.build_topology = [](Workbench& wb) {
+        build_gateway_chain(wb);
+        // Passive interferer heard only by the gateway's receiver.
+        const NodeId jam = wb.channel().add_node(nullptr);
+        wb.channel().set_rss_dbm(jam, 2, -66.0);
+      };
+      cell.flows = {FleetFlow{{0, 1, 2}}, FleetFlow{{3, 2}}};
+      cell.controller = churn_config();
+      cell.rounds = 3;
+      cell.dynamics = [](std::uint64_t seed) {
+        DynamicsScript script =
+            markov_interferer(4, 4.0, 6.0, 30.0, RngStream(seed, "jam"));
+        script.merge(random_walk_loss_drift(0, 1, Rate::kR1Mbps, 0.02, 0.01,
+                                            5.0, 30.0,
+                                            RngStream(seed, "drift")));
+        script.merge(node_flap(3, 12.0, 22.0));
+        return script;
+      };
+      cells.push_back(std::move(cell));
+    }
+    return cells;
+  };
+
+  ControllerFleet serial(1);
+  ControllerFleet parallel(4);
+  const auto a = serial.run(make_cells(), 77);
+  const auto b = parallel.run(make_cells(), 77);
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].ok, b[i].ok);
+    EXPECT_EQ(a[i].snapshot, b[i].snapshot) << "cell " << i;
+    EXPECT_EQ(a[i].plan, b[i].plan) << "cell " << i;
+  }
+  // Different seeds genuinely produce different measured conditions.
+  EXPECT_NE(a[0].snapshot, a[1].snapshot);
+}
+
+}  // namespace
+}  // namespace meshopt
