@@ -46,6 +46,10 @@
 #include "scenario/dynamics.h"
 #include "scenario/topologies.h"
 #endif
+#if __has_include("core/guard.h")
+#define MESHOPT_BENCH_HAS_GUARD 1
+#include "core/guard.h"
+#endif
 
 #include "core/controller.h"
 #include "scenario/workbench.h"
@@ -425,6 +429,29 @@ void BM_ControllerRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ControllerRound);
+
+#if defined(MESHOPT_BENCH_HAS_GUARD) && defined(MESHOPT_BENCH_HAS_TRACE)
+// The same full round through the guarded control loop on clean inputs:
+// snapshot validation, plan guardrails, and the health state machine ride
+// along on every window. Against BM_ControllerRound this is the guard
+// layer's overhead on the healthy path — the acceptance bar is <= 1.05x,
+// i.e. validation must be noise next to the probing simulation and the
+// optimizer.
+void BM_GuardedRound(benchmark::State& state) {
+  Workbench wb(71);
+  build_bench_gateway(wb);
+  MeshController ctl(wb.net(), bench_gateway_config(), 71);
+  add_bench_gateway_flows(wb, ctl);
+  ctl.set_guard(GuardConfig{});
+  LiveSource live(wb, ctl);
+
+  for (auto _ : state) {
+    const RoundResult round = ctl.guarded_round(live);
+    benchmark::DoNotOptimize(round);
+  }
+}
+BENCHMARK(BM_GuardedRound);
+#endif
 
 #ifdef MESHOPT_BENCH_HAS_TRACE
 // Trace replay: the same gateway scenario as BM_ControllerRound, but the

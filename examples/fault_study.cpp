@@ -1,0 +1,192 @@
+// Example: fault-injection study — a guarded controller riding churn AND
+// scripted measurement faults for 200 rounds without falling over.
+//
+//   $ ./example_fault_study [rounds] [trace-path]
+//
+// The scenario stacks the dynamic-churn timeline of example_churn_study
+// (node flap, Markov interferer, random-walk loss drift) with a
+// FaultScript of measurement-plane failures: whole probe windows dropped,
+// NaN/Inf/negative loss estimates, capacity outliers, stale-snapshot
+// replay bursts, and partial snapshots. Every fault is drawn at script
+// generation time from a seeded RngStream, so the run — including every
+// health transition — replays bit-identically.
+//
+// The guarded control loop (core/guard.h + MeshController::guarded_round)
+// validates each snapshot, repairs what it can (clamp/drop), plans under
+// decayed trust on repaired rounds, and holds the last-known-good plan
+// with exponential backoff when a round is unusable. The example prints
+// every health transition as it happens, then a per-phase table (the
+// churn phases: full mesh, cross node gone, rejoined) of objective and
+// health counters, and the final HealthStats tally.
+//
+// The sensed windows are also recorded to a binary trace, so the exact
+// faulted run can be replayed offline (see example_trace_study).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/guard.h"
+#include "core/planner.h"
+#include "probe/live_source.h"
+#include "scenario/dynamics.h"
+#include "scenario/faults.h"
+#include "scenario/topologies.h"
+#include "scenario/workbench.h"
+#include "util/rng.h"
+#include "util/trace_codec.h"
+
+using namespace meshopt;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20260807;
+
+/// Proportional-fair objective of one round's output rates (Mbit/s), the
+/// quantity the optimizer maximizes; NaN when the round produced no plan.
+double pf_objective(const std::vector<double>& y) {
+  if (y.empty()) return std::nan("");
+  double obj = 0.0;
+  for (double v : y) {
+    if (v <= 0.0) return std::nan("");
+    obj += std::log(v / 1e6);
+  }
+  return obj;
+}
+
+struct PhaseTally {
+  const char* name = "";
+  int rounds = 0;
+  int healthy = 0;
+  int degraded = 0;
+  int fallback = 0;
+  double obj_sum = 0.0;
+  int obj_rounds = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::max(9, std::atoi(argv[1])) : 200;
+  const std::string path =
+      argc > 2 ? argv[2] : std::string("fault_study.trace");
+
+  Workbench wb(kSeed);
+  build_gateway_chain(wb);
+  const NodeId jammer = wb.channel().add_node(nullptr);
+  wb.channel().set_rss_dbm(jammer, 2, -62.0);
+
+  ControllerConfig cfg;
+  cfg.probe_period_s = 0.25;
+  cfg.probe_window = 20;
+  cfg.optimizer.objective = Objective::kProportionalFair;
+  MeshController ctl(wb.net(), cfg, kSeed);
+  ctl.set_guard(GuardConfig{});
+  ManagedFlow far;
+  far.flow_id = wb.net().open_flow(0, 2, Protocol::kUdp, 1470);
+  far.path = {0, 1, 2};
+  ctl.manage_flow(far);
+  ManagedFlow near;
+  near.flow_id = wb.net().open_flow(3, 2, Protocol::kUdp, 1470);
+  near.path = {3, 2};
+  ctl.manage_flow(near);
+
+  // ---- churn timeline (network-plane dynamics) -----------------------
+  const double window_s = ctl.probing_window_seconds();
+  const int leave_round = rounds / 3;
+  const int rejoin_round = 2 * rounds / 3;
+  const double horizon_s = rounds * window_s;
+  DynamicsScript churn = node_flap(3, (leave_round + 0.5) * window_s,
+                                   (rejoin_round + 0.5) * window_s);
+  churn.merge(markov_interferer(jammer, /*mean_on_s=*/2.5 * window_s,
+                                /*mean_off_s=*/4.0 * window_s, horizon_s,
+                                RngStream(kSeed, "jam")));
+  churn.merge(random_walk_loss_drift(0, 1, Rate::kR1Mbps, /*p0=*/0.02,
+                                     /*sigma=*/0.015, 2.0 * window_s,
+                                     horizon_s, RngStream(kSeed, "drift")));
+  DynamicsEngine dynamics(wb, std::move(churn));
+  dynamics.arm();
+
+  // ---- fault timeline (measurement-plane failures) -------------------
+  FaultScript faults =
+      window_dropout_faults(rounds, 0.05, RngStream(kSeed, "drop"));
+  faults.merge(
+      loss_corruption_faults(rounds, 0.08, 4, RngStream(kSeed, "loss")));
+  faults.merge(
+      capacity_outlier_faults(rounds, 0.04, 4, RngStream(kSeed, "cap")));
+  faults.merge(stale_replay_faults(rounds, 0.03, 2, RngStream(kSeed, "stale")));
+  faults.merge(
+      partial_snapshot_faults(rounds, 0.04, 2, RngStream(kSeed, "part")));
+  std::printf("fault script: %zu events over %d rounds\n",
+              faults.events.size(), rounds);
+
+  TraceWriter writer(path);
+  ctl.record_to(&writer);
+  LiveSource live(wb, ctl, rounds);
+  FaultEngine source(&live, std::move(faults));
+
+  // ---- guarded run: print transitions, tally per churn phase ---------
+  PhaseTally phases[3] = {{"full mesh"}, {"node 3 gone"}, {"rejoined"}};
+  HealthState state = ctl.health();
+  std::printf("\nhealth transitions:\n");
+  for (int r = 0; r < rounds; ++r) {
+    const RoundResult round = ctl.guarded_round(source);
+    if (round.exhausted) break;
+    if (round.health != state) {
+      std::printf("  round %3d: %-8s -> %-8s%s\n", r, to_string(state),
+                  to_string(round.health),
+                  round.held ? "  (holding last-known-good plan)" : "");
+      state = round.health;
+    }
+    PhaseTally& phase =
+        phases[r < leave_round ? 0 : (r < rejoin_round ? 1 : 2)];
+    ++phase.rounds;
+    if (round.health == HealthState::kHealthy) ++phase.healthy;
+    if (round.health == HealthState::kDegraded) ++phase.degraded;
+    if (round.health == HealthState::kFallback) ++phase.fallback;
+    const double obj = pf_objective(round.y);
+    if (std::isfinite(obj)) {
+      phase.obj_sum += obj;
+      ++phase.obj_rounds;
+    }
+  }
+  ctl.record_to(nullptr);
+  writer.close();
+
+  std::printf("\nper-phase summary (proportional-fair objective, sum log "
+              "y/Mbps):\n");
+  std::printf("  %-12s %7s %8s %9s %9s %10s\n", "phase", "rounds", "healthy",
+              "degraded", "fallback", "mean obj");
+  for (const PhaseTally& phase : phases) {
+    const double mean = phase.obj_rounds > 0
+                            ? phase.obj_sum / phase.obj_rounds
+                            : std::nan("");
+    std::printf("  %-12s %7d %8d %9d %9d %10.3f\n", phase.name, phase.rounds,
+                phase.healthy, phase.degraded, phase.fallback, mean);
+  }
+
+  const HealthStats& hs = ctl.health_stats();
+  std::printf("\nhealth stats over %llu guarded rounds:\n",
+              static_cast<unsigned long long>(hs.rounds));
+  std::printf("  snapshots: %llu clean / %llu repaired / %llu rejected\n",
+              static_cast<unsigned long long>(hs.snapshots_clean),
+              static_cast<unsigned long long>(hs.snapshots_repaired),
+              static_cast<unsigned long long>(hs.snapshots_rejected));
+  std::printf("  repair tier: %llu losses clamped, %llu links dropped\n",
+              static_cast<unsigned long long>(hs.links_clamped),
+              static_cast<unsigned long long>(hs.links_dropped));
+  std::printf(
+      "  fallback: %llu entries, %llu recoveries, %llu backoff skips\n",
+      static_cast<unsigned long long>(hs.fallback_entries),
+      static_cast<unsigned long long>(hs.recoveries),
+      static_cast<unsigned long long>(hs.backoff_skips));
+  std::printf("  faults injected by the engine: %d\n",
+              source.faults_injected());
+  std::printf("  final state: %s\n", to_string(ctl.health()));
+  std::printf("\nrecorded %d sensed windows to %s\n", writer.rounds(),
+              path.c_str());
+  return ctl.health() == HealthState::kFallback ? 1 : 0;
+}

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "core/snapshot_source.h"
 #include "util/trace_codec.h"
 
 namespace meshopt {
@@ -174,8 +175,8 @@ MeasurementSnapshot MeshController::sense_snapshot() const {
   return snap;
 }
 
-void MeshController::update_estimates() {
-  snapshot_ = sense_snapshot();
+void MeshController::adopt_snapshot(MeasurementSnapshot snap) {
+  snapshot_ = std::move(snap);
   estimates_.clear();
   estimates_.reserve(snapshot_.links.size());
   for (const SnapshotLink& sl : snapshot_.links) {
@@ -190,6 +191,14 @@ void MeshController::update_estimates() {
     ls.p_rev = sl.estimate.p_ack;
     topo_.update_link(ls);
   }
+}
+
+void MeshController::ingest_snapshot(MeasurementSnapshot snap) {
+  adopt_snapshot(std::move(snap));
+}
+
+void MeshController::update_estimates() {
+  adopt_snapshot(sense_snapshot());
   if (trace_writer_ != nullptr) trace_writer_->write(snapshot_);
 }
 
@@ -240,6 +249,152 @@ RoundResult MeshController::optimize_and_apply() {
 RoundResult MeshController::run_round(Workbench& wb) {
   sense_window(wb);
   return optimize_and_apply();
+}
+
+// ------------------------------------------------------- guarded rounds
+
+void MeshController::set_guard(GuardConfig cfg) {
+  guard_cfg_ = cfg;
+  backoff_next_ = std::max(1, guard_cfg_.backoff_start);
+}
+
+bool MeshController::apply_plan_checked(const RatePlan& plan) {
+  if (!plan.ok) return true;  // nothing to actuate
+  bool ok = true;
+  for (const ShaperProgram& prog : plan.shapers) {
+    for (const ManagedFlow& f : flows_) {
+      if (f.flow_id != prog.flow_id) continue;
+      if (f.apply_rate) {
+        try {
+          f.apply_rate(prog.x_bps);
+        } catch (...) {
+          // A failing shaper must not take the loop down; the round is
+          // accounted as an apply failure and the state machine falls
+          // back.
+          ++hstats_.apply_failures;
+          ok = false;
+        }
+      }
+      break;
+    }
+  }
+  return ok;
+}
+
+RoundResult MeshController::fail_round() {
+  if (health_ != HealthState::kFallback) {
+    ++hstats_.fallback_entries;
+    backoff_next_ = std::max(1, guard_cfg_.backoff_start);
+  }
+  health_ = HealthState::kFallback;
+  // Deterministic exponential backoff: hold for backoff_next_ rounds
+  // before the next re-plan attempt, doubling per consecutive failure.
+  backoff_wait_ = backoff_next_;
+  backoff_next_ = std::min(backoff_next_ * 2, guard_cfg_.backoff_max);
+  ++hstats_.fallback_rounds;
+  // Hold the last-known-good plan: re-actuate it so a partially applied
+  // bad plan (or a shaper the failing path already touched) is restored.
+  (void)apply_plan_checked(last_good_plan_);
+  RoundResult round;
+  round.health = health_;
+  round.held = last_good_plan_.ok;
+  return round;
+}
+
+RoundResult MeshController::guarded_step(MeasurementSnapshot snap) {
+  ++hstats_.rounds;
+
+  // Backoff window: in FALLBACK the controller deliberately skips
+  // re-planning for the scheduled number of rounds — the round's window
+  // is still consumed (sources advance uniformly; determinism), but no
+  // validation or optimization runs.
+  if (health_ == HealthState::kFallback && backoff_wait_ > 0) {
+    --backoff_wait_;
+    ++hstats_.backoff_skips;
+    ++hstats_.fallback_rounds;
+    (void)apply_plan_checked(last_good_plan_);
+    RoundResult round;
+    round.health = health_;
+    round.held = last_good_plan_.ok;
+    return round;
+  }
+
+  const SnapshotValidator validator(guard_cfg_.snapshot);
+  const ValidationReport report = validator.validate(snap, &links_);
+  hstats_.links_clamped += static_cast<std::uint64_t>(report.links_clamped);
+  hstats_.links_dropped += static_cast<std::uint64_t>(report.links_dropped);
+  if (!report.usable()) {
+    ++hstats_.snapshots_rejected;
+    return fail_round();
+  }
+  const bool clean = report.verdict == SnapshotVerdict::kClean;
+  if (clean)
+    ++hstats_.snapshots_clean;
+  else
+    ++hstats_.snapshots_repaired;
+
+  adopt_snapshot(std::move(snap));
+
+  // Model + plan. A repaired snapshot's topology must not be cached: the
+  // planner builds it off to the side so the LRU never holds an entry
+  // derived from corrupted measurements.
+  const InterferenceModel& model = planner_.model(
+      snapshot_, cfg_.interference, /*mis_cap=*/200000, /*cacheable=*/clean);
+  RatePlan plan = plan_rates(snapshot_, model, flow_specs(), cfg_.plan());
+
+  const PlanValidator plan_validator(guard_cfg_.plan);
+  const PlanCheck check = plan_validator.validate(plan, snapshot_,
+                                                  flow_specs());
+  if (!plan.ok || !check.ok) {
+    ++hstats_.plans_rejected;
+    return fail_round();
+  }
+
+  // Trust decay: plans from repaired measurements are actuated
+  // conservatively — each consecutive degraded round scales the input
+  // rates down by one more factor, floored at min_trust. A clean round
+  // restores full trust.
+  if (clean) {
+    trust_ = 1.0;
+  } else {
+    trust_ = std::max(guard_cfg_.min_trust, trust_ * guard_cfg_.trust_decay);
+    for (double& x : plan.x) x *= trust_;
+    for (ShaperProgram& prog : plan.shapers) prog.x_bps *= trust_;
+  }
+  plan_ = plan;
+
+  if (!apply_plan_checked(plan_)) return fail_round();
+
+  if (health_ == HealthState::kFallback) ++hstats_.recoveries;
+  health_ = clean ? HealthState::kHealthy : HealthState::kDegraded;
+  if (clean)
+    ++hstats_.healthy_rounds;
+  else
+    ++hstats_.degraded_rounds;
+  backoff_wait_ = 0;
+  backoff_next_ = std::max(1, guard_cfg_.backoff_start);
+  last_good_plan_ = plan_;
+
+  RoundResult round;
+  round.ok = true;
+  round.links = estimates_;
+  round.y = plan_.y;
+  round.x = plan_.x;
+  round.extreme_points = plan_.extreme_points;
+  round.optimizer_iterations = plan_.optimizer_iterations;
+  round.health = health_;
+  return round;
+}
+
+RoundResult MeshController::guarded_round(SnapshotSource& source) {
+  MeasurementSnapshot snap;
+  if (!source.next(snap)) {
+    RoundResult round;
+    round.health = health_;
+    round.exhausted = true;
+    return round;
+  }
+  return guarded_step(std::move(snap));
 }
 
 }  // namespace meshopt

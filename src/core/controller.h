@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/guard.h"
 #include "core/interference.h"
 #include "core/planner.h"
 #include "core/rate_plan.h"
@@ -37,6 +38,7 @@
 
 namespace meshopt {
 
+class SnapshotSource;
 class TraceWriter;
 
 /// Knobs of one controller instance (probing cadence + plan tuning).
@@ -84,6 +86,10 @@ struct RoundResult {
   std::vector<double> x;  ///< applied input rates per managed flow
   int extreme_points = 0;
   int optimizer_iterations = 0;
+  /// Guarded-round fields (run_round leaves them at their defaults):
+  HealthState health = HealthState::kHealthy;  ///< state after the round
+  bool held = false;       ///< fallback: last-known-good plan held instead
+  bool exhausted = false;  ///< the SnapshotSource had no more windows
 };
 
 class MeshController {
@@ -160,6 +166,47 @@ class MeshController {
   /// and apply. Caller's simulation keeps running its traffic meanwhile.
   RoundResult run_round(Workbench& wb);
 
+  // ---- Resilient control loop (see ARCHITECTURE.md, "Faults &
+  // degradation"). The guarded entry points validate every input before
+  // it reaches the planner or the shapers and run the HEALTHY ->
+  // DEGRADED -> FALLBACK state machine. On clean inputs a guarded round
+  // computes the exact same plan as run_round (the validators only
+  // read), at ≤1.05x the cost (BM_GuardedRound).
+
+  /// Reconfigure the guard layer (validators + state machine knobs).
+  void set_guard(GuardConfig cfg);
+  [[nodiscard]] const GuardConfig& guard() const { return guard_cfg_; }
+
+  /// Adopt an externally produced snapshot as if update_estimates() had
+  /// sensed it: refreshes the link-estimate view and topology database.
+  /// This is how replayed or fault-injected snapshot streams drive the
+  /// controller. Does not write to an attached trace writer.
+  void ingest_snapshot(MeasurementSnapshot snap);
+
+  /// One resilient round: pull the next window from `source`, validate
+  /// it, plan with guardrails, and actuate — or hold the last-known-good
+  /// plan and back off. Composes with LiveSource (live loop), TraceSource
+  /// (replay-driven), and FaultEngine (fault injection) alike. Never
+  /// throws on bad measurements or failing apply callbacks; every
+  /// anomaly lands in health_stats() instead.
+  RoundResult guarded_round(SnapshotSource& source);
+
+  /// The validate/plan/apply core of guarded_round over an already
+  /// produced snapshot (by value: the validator's repair tier mutates
+  /// its copy, never the caller's).
+  RoundResult guarded_step(MeasurementSnapshot snap);
+
+  /// Resilience state after the last guarded round.
+  [[nodiscard]] HealthState health() const { return health_; }
+  [[nodiscard]] const HealthStats& health_stats() const { return hstats_; }
+  /// Current trust scale applied to actuated input rates (1 = full).
+  [[nodiscard]] double trust() const { return trust_; }
+  /// The plan a fallback round re-applies (ok == false until a guarded
+  /// round first succeeds).
+  [[nodiscard]] const RatePlan& last_good_plan() const {
+    return last_good_plan_;
+  }
+
   [[nodiscard]] const std::vector<LinkEstimateRow>& link_estimates() const {
     return estimates_;
   }
@@ -174,6 +221,13 @@ class MeshController {
   ProbeAgent& ensure_agent(NodeId node);
   ProbeMonitor& ensure_monitor(NodeId node);
   [[nodiscard]] int link_index(NodeId src, NodeId dst) const;
+  void adopt_snapshot(MeasurementSnapshot snap);
+  /// Apply `plan` through the managed flows' callbacks, swallowing (and
+  /// counting) exceptions. Returns false when any callback threw.
+  bool apply_plan_checked(const RatePlan& plan);
+  /// Transition bookkeeping for a failed guarded attempt: enter (or stay
+  /// in) kFallback, arm the exponential backoff, hold the LKG plan.
+  RoundResult fail_round();
 
   Network& net_;
   ControllerConfig cfg_;
@@ -197,6 +251,15 @@ class MeshController {
   double lir_threshold_ = 0.95;
   std::function<bool(NodeId, NodeId)> neighbor_pred_;
   TraceWriter* trace_writer_ = nullptr;  ///< borrowed; see record_to()
+
+  // Guard layer state (see guarded_round).
+  GuardConfig guard_cfg_{};
+  HealthState health_ = HealthState::kHealthy;
+  HealthStats hstats_;
+  RatePlan last_good_plan_;  ///< as actuated (trust scale included)
+  double trust_ = 1.0;
+  int backoff_wait_ = 0;  ///< fallback rounds left before re-attempting
+  int backoff_next_ = 1;  ///< wait imposed by the next failed attempt
 };
 
 }  // namespace meshopt

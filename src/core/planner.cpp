@@ -22,7 +22,7 @@ bool Planner::matches(const Entry& e, const MeasurementSnapshot& snap,
 
 const InterferenceModel& Planner::model(const MeasurementSnapshot& snap,
                                         InterferenceModelKind kind,
-                                        std::size_t mis_cap) {
+                                        std::size_t mis_cap, bool cacheable) {
   caps_scratch_.clear();
   caps_scratch_.reserve(snap.links.size());
   for (const SnapshotLink& l : snap.links)
@@ -47,7 +47,7 @@ const InterferenceModel& Planner::model(const MeasurementSnapshot& snap,
   ++stats_.misses;
   InterferenceTopology topo =
       InterferenceModel::build_topology(snap, kind, mis_cap);
-  if (capacity_ == 0) {
+  if (capacity_ == 0 || !cacheable) {
     // Nothing is stored: move the whole topology into the model.
     uncached_.emplace(
         InterferenceModel::from_topology(std::move(topo), caps_scratch_));
@@ -83,8 +83,9 @@ const InterferenceModel& Planner::model(const MeasurementSnapshot& snap,
 RatePlan Planner::plan(const MeasurementSnapshot& snap,
                        InterferenceModelKind kind,
                        const std::vector<FlowSpec>& flows,
-                       const PlanConfig& cfg, std::size_t mis_cap) {
-  return plan_rates(snap, model(snap, kind, mis_cap), flows, cfg);
+                       const PlanConfig& cfg, std::size_t mis_cap,
+                       bool cacheable) {
+  return plan_rates(snap, model(snap, kind, mis_cap, cacheable), flows, cfg);
 }
 
 void Planner::clear() {

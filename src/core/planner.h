@@ -64,9 +64,20 @@ class Planner {
   /// full matrix refill: since a topology fixes the extreme-point
   /// matrix's nonzero positions, only the member cells are overwritten
   /// with the round's capacities (refresh_extreme_point_matrix).
+  ///
+  /// `cacheable = false` keeps the LRU read-only for this call: a miss
+  /// builds the model without storing the topology. The guarded
+  /// controller passes false for snapshots its validator REPAIRED, so a
+  /// topology derived from corrupted measurements (e.g. a partial
+  /// snapshot's shrunken link set) never becomes a resident entry that
+  /// later rounds could be served from. Reads stay allowed — a hit
+  /// requires a full structural match of the topology inputs, so a
+  /// repaired snapshot that genuinely matches a trusted entry IS that
+  /// topology.
   const InterferenceModel& model(const MeasurementSnapshot& snap,
                                  InterferenceModelKind kind,
-                                 std::size_t mis_cap = 200000);
+                                 std::size_t mis_cap = 200000,
+                                 bool cacheable = true);
 
   /// model() + plan_rates() in one call — the whole pure half of a
   /// controller round over one snapshot.
@@ -74,7 +85,8 @@ class Planner {
                               InterferenceModelKind kind,
                               const std::vector<FlowSpec>& flows,
                               const PlanConfig& cfg,
-                              std::size_t mis_cap = 200000);
+                              std::size_t mis_cap = 200000,
+                              bool cacheable = true);
 
   [[nodiscard]] const PlannerStats& stats() const { return stats_; }
   /// Entries currently resident (<= capacity()).

@@ -4,8 +4,12 @@
 
 namespace meshopt {
 
-TraceSource TraceSource::from_file(const std::string& path) {
-  return TraceSource(read_trace(path));
+TraceSource TraceSource::from_file(const std::string& path,
+                                   OnCorruptRecord policy) {
+  int corrupt = 0;
+  TraceSource source(read_trace(path, policy, &corrupt));
+  source.corrupt_records_ = corrupt;
+  return source;
 }
 
 }  // namespace meshopt

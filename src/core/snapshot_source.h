@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/snapshot.h"
+#include "util/trace_codec.h"
 
 namespace meshopt {
 
@@ -57,7 +58,16 @@ class TraceSource final : public SnapshotSource {
 
   /// Load a binary trace file (util/trace_codec.h) and own its rounds.
   /// @throws std::runtime_error / std::invalid_argument as read_trace.
-  [[nodiscard]] static TraceSource from_file(const std::string& path);
+  /// With OnCorruptRecord::kSkipAndCount a damaged trace yields its
+  /// surviving records instead of throwing; the damage is reported by
+  /// corrupt_records().
+  [[nodiscard]] static TraceSource from_file(
+      const std::string& path,
+      OnCorruptRecord policy = OnCorruptRecord::kThrow);
+
+  /// Corrupt records skipped while loading (from_file with
+  /// kSkipAndCount; 0 otherwise).
+  [[nodiscard]] int corrupt_records() const { return corrupt_records_; }
 
   bool next(MeasurementSnapshot& out) override {
     const auto& r = rounds();
@@ -82,6 +92,7 @@ class TraceSource final : public SnapshotSource {
   std::vector<MeasurementSnapshot> owned_;
   const std::vector<MeasurementSnapshot>* borrowed_ = nullptr;
   std::size_t cursor_ = 0;
+  int corrupt_records_ = 0;
 };
 
 }  // namespace meshopt

@@ -138,14 +138,25 @@ DynamicsEngine::~DynamicsEngine() {
 }
 
 void DynamicsEngine::arm() {
-  if (armed_) return;
-  armed_ = true;
+  // Cancel-then-arm: every pending (unfired) event is cancelled and
+  // rescheduled, so calling arm() twice — or re-arming after the clock
+  // advanced — never double-schedules an event. Events that already
+  // fired stay fired: re-arming must not replay a node leave or restart
+  // a closed interferer burst. Simulator::cancel is generation-safe, so
+  // cancelling ids whose events fired meanwhile is a harmless no-op.
+  for (EventId id : pending_) wb_.sim().cancel(id);
+  pending_.clear();
+  if (fired_.size() != script_.events.size())
+    fired_.assign(script_.events.size(), 0);
   pending_.reserve(script_.events.size());
   for (std::size_t i = 0; i < script_.events.size(); ++i) {
+    if (fired_[i] != 0) continue;
     const TimeNs when =
         std::max(wb_.sim().now(), seconds(script_.events[i].at_s));
-    pending_.push_back(wb_.sim().schedule_at(
-        when, [this, i] { apply(script_.events[i]); }));
+    pending_.push_back(wb_.sim().schedule_at(when, [this, i] {
+      fired_[i] = 1;
+      apply(script_.events[i]);
+    }));
   }
 }
 

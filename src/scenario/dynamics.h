@@ -142,7 +142,11 @@ class DynamicsEngine {
   DynamicsEngine(const DynamicsEngine&) = delete;
   DynamicsEngine& operator=(const DynamicsEngine&) = delete;
 
-  /// Schedule every event at max(now, at_s). Call once.
+  /// Schedule every not-yet-applied event at max(now, at_s). Idempotent:
+  /// re-arming cancels the still-pending schedules and re-issues them, so
+  /// a double arm() never double-applies an event, and events that
+  /// already fired are never replayed (tests/test_dynamics.cpp pins
+  /// both).
   void arm();
 
   /// Events applied so far.
@@ -203,9 +207,9 @@ class DynamicsEngine {
 
   Workbench& wb_;
   DynamicsScript script_;
-  bool armed_ = false;
   int applied_ = 0;
   std::vector<EventId> pending_;  ///< script events awaiting their time
+  std::vector<char> fired_;       ///< per-event applied flag (see arm())
   /// RSS rows/cols saved by the last kNodeLeave of each node:
   /// (out = rss(node, m), in = rss(m, node)) for every other node m, in
   /// node-id order at leave time.

@@ -1,0 +1,224 @@
+#include "scenario/faults.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace meshopt {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCorruptLoss: return "corrupt-loss";
+    case FaultKind::kCorruptCapacity: return "corrupt-capacity";
+    case FaultKind::kDropWindow: return "drop-window";
+    case FaultKind::kStaleReplay: return "stale-replay";
+    case FaultKind::kPartialSnapshot: return "partial-snapshot";
+    case FaultKind::kApplyFailure: return "apply-failure";
+  }
+  return "unknown";
+}
+
+// --------------------------------------------------------------- script
+
+namespace {
+void sort_events(std::vector<FaultEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.round < b.round;
+                   });
+}
+}  // namespace
+
+FaultScript& FaultScript::add(FaultEvent event) {
+  events.push_back(event);
+  sort_events(events);
+  return *this;
+}
+
+FaultScript& FaultScript::merge(const FaultScript& other) {
+  events.insert(events.end(), other.events.begin(), other.events.end());
+  sort_events(events);
+  return *this;
+}
+
+int FaultScript::horizon() const {
+  return events.empty() ? -1 : events.back().round;
+}
+
+// ----------------------------------------------------------- generators
+
+FaultScript loss_corruption_faults(int rounds, double prob, int max_link,
+                                   RngStream rng) {
+  // The poison menu covers every loss-field failure class the validator
+  // must catch: NaN, Inf, negative, above-one.
+  const double poisons[] = {std::numeric_limits<double>::quiet_NaN(),
+                            std::numeric_limits<double>::infinity(), -0.25,
+                            1.5};
+  FaultScript script;
+  for (int r = 0; r < rounds; ++r) {
+    if (!rng.bernoulli(prob)) continue;
+    FaultEvent e;
+    e.round = r;
+    e.kind = FaultKind::kCorruptLoss;
+    e.link = rng.uniform_int(0, std::max(0, max_link));
+    e.value = poisons[rng.uniform_int(0, 3)];
+    script.events.push_back(e);
+  }
+  return script;
+}
+
+FaultScript capacity_outlier_faults(int rounds, double prob, int max_link,
+                                    RngStream rng, double scale) {
+  FaultScript script;
+  for (int r = 0; r < rounds; ++r) {
+    if (!rng.bernoulli(prob)) continue;
+    FaultEvent e;
+    e.round = r;
+    e.kind = FaultKind::kCorruptCapacity;
+    e.link = rng.uniform_int(0, std::max(0, max_link));
+    e.value = rng.bernoulli(0.25) ? -1e6 : scale * rng.uniform(0.5, 2.0);
+    script.events.push_back(e);
+  }
+  return script;
+}
+
+FaultScript window_dropout_faults(int rounds, double prob, RngStream rng) {
+  FaultScript script;
+  for (int r = 0; r < rounds; ++r) {
+    if (!rng.bernoulli(prob)) continue;
+    FaultEvent e;
+    e.round = r;
+    e.kind = FaultKind::kDropWindow;
+    script.events.push_back(e);
+  }
+  return script;
+}
+
+FaultScript stale_replay_faults(int rounds, double prob, int max_len,
+                                RngStream rng) {
+  FaultScript script;
+  int r = 0;
+  while (r < rounds) {
+    if (!rng.bernoulli(prob)) {
+      ++r;
+      continue;
+    }
+    const int len = rng.uniform_int(1, std::max(1, max_len));
+    for (int k = 0; k < len && r < rounds; ++k, ++r) {
+      FaultEvent e;
+      e.round = r;
+      e.kind = FaultKind::kStaleReplay;
+      script.events.push_back(e);
+    }
+  }
+  return script;
+}
+
+FaultScript partial_snapshot_faults(int rounds, double prob, int max_links,
+                                    RngStream rng) {
+  FaultScript script;
+  for (int r = 0; r < rounds; ++r) {
+    if (!rng.bernoulli(prob)) continue;
+    FaultEvent e;
+    e.round = r;
+    e.kind = FaultKind::kPartialSnapshot;
+    e.link = rng.uniform_int(0, 1 << 16);  // start index, wrapped at use
+    e.count = rng.uniform_int(1, std::max(1, max_links));
+    script.events.push_back(e);
+  }
+  return script;
+}
+
+FaultScript apply_failure_faults(int rounds, double prob, RngStream rng) {
+  FaultScript script;
+  for (int r = 0; r < rounds; ++r) {
+    if (!rng.bernoulli(prob)) continue;
+    FaultEvent e;
+    e.round = r;
+    e.kind = FaultKind::kApplyFailure;
+    script.events.push_back(e);
+  }
+  return script;
+}
+
+// --------------------------------------------------------------- engine
+
+FaultEngine::FaultEngine(SnapshotSource* base, FaultScript script)
+    : base_(base), script_(std::move(script)) {}
+
+bool FaultEngine::next(MeasurementSnapshot& out) {
+  MeasurementSnapshot fresh;
+  if (!base_->next(fresh)) return false;
+  ++round_;
+  apply_fault_ = false;
+
+  // The clean snapshot of THIS round becomes next round's stale replay
+  // payload; stash it before any corruption touches `fresh`.
+  MeasurementSnapshot clean = fresh;
+
+  bool dropped = false;
+  for (; cursor_ < script_.events.size() &&
+         script_.events[cursor_].round <= round_;
+       ++cursor_) {
+    const FaultEvent& e = script_.events[cursor_];
+    if (e.round < round_) continue;  // script rounds the source never hit
+    ++injected_;
+    switch (e.kind) {
+      case FaultKind::kStaleReplay:
+        if (have_last_)
+          fresh = last_clean_;
+        else
+          dropped = true;  // nothing to replay yet: degrade to dropout
+        break;
+      case FaultKind::kDropWindow:
+        dropped = true;
+        break;
+      case FaultKind::kCorruptLoss:
+        if (!fresh.links.empty()) {
+          SnapshotLink& l = fresh.links[static_cast<std::size_t>(e.link) %
+                                        fresh.links.size()];
+          l.estimate.p_data = e.value;
+          l.estimate.p_ack = e.value;
+          l.estimate.p_link = e.value;
+        }
+        break;
+      case FaultKind::kCorruptCapacity:
+        if (!fresh.links.empty()) {
+          fresh.links[static_cast<std::size_t>(e.link) % fresh.links.size()]
+              .estimate.capacity_bps = e.value;
+        }
+        break;
+      case FaultKind::kPartialSnapshot:
+        for (int k = 0; k < e.count && !fresh.links.empty(); ++k) {
+          fresh.links.erase(fresh.links.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                static_cast<std::size_t>(e.link) %
+                                fresh.links.size()));
+        }
+        break;
+      case FaultKind::kApplyFailure:
+        apply_fault_ = true;
+        break;
+    }
+  }
+
+  if (dropped) fresh = MeasurementSnapshot{};
+  last_clean_ = std::move(clean);
+  have_last_ = true;
+  out = std::move(fresh);
+  return true;
+}
+
+std::vector<MeasurementSnapshot> fault_rounds(
+    const std::vector<MeasurementSnapshot>& rounds,
+    const FaultScript& script) {
+  TraceSource base(&rounds);
+  FaultEngine engine(&base, script);
+  std::vector<MeasurementSnapshot> out;
+  out.reserve(rounds.size());
+  MeasurementSnapshot snap;
+  while (engine.next(snap)) out.push_back(std::move(snap));
+  return out;
+}
+
+}  // namespace meshopt

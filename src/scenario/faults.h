@@ -1,0 +1,156 @@
+#pragma once
+// Fault-injection plane — scripted measurement faults for resilience
+// studies (see ARCHITECTURE.md, "Faults & degradation").
+//
+// The dynamics subsystem (scenario/dynamics.h) perturbs the NETWORK; this
+// file perturbs the MEASUREMENTS. A FaultScript is a timeline of
+// round-indexed FaultEvents — snapshot field corruption (NaN/Inf/negative
+// loss, outlier capacity), probe-window dropout, stale-snapshot replay,
+// partial snapshots, plan-apply failures — and a FaultEngine arms it over
+// any SnapshotSource, corrupting the snapshot stream a control loop
+// consumes without touching the underlying simulation or trace. Because
+// the engine wraps the SnapshotSource interface it composes with
+// LiveSource (faults over a live probing run), TraceSource (faults over a
+// recorded trace), and — via fault_rounds() — ControllerFleet::replay.
+//
+// Determinism contract: same as DynamicsScript. The engine draws NO
+// randomness at run time; every stochastic choice (which rounds, which
+// links, which poison values) is expanded into concrete events at script
+// GENERATION time by the generator functions below, each a pure function
+// of its RngStream. A fault run is therefore a value: replayable
+// bit-for-bit, and fleet fault studies are bit-identical across thread
+// counts (tests/test_faults.cpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "core/snapshot_source.h"
+#include "util/rng.h"
+
+namespace meshopt {
+
+/// What a fault event does to the measurement stream.
+enum class FaultKind : std::uint8_t {
+  kCorruptLoss,      ///< overwrite link's p_data/p_ack with `value`
+  kCorruptCapacity,  ///< overwrite link's capacity_bps with `value`
+  kDropWindow,       ///< the round's snapshot is lost (empty delivery)
+  kStaleReplay,      ///< re-deliver the previous round's clean snapshot
+  kPartialSnapshot,  ///< drop `count` links starting at index `link`
+  kApplyFailure,     ///< arm apply_fault_now() for the round (actuation
+                     ///< path fails; see MeshController::guarded_round)
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One scripted fault. Only the fields its kind reads are meaningful.
+struct FaultEvent {
+  int round = 0;        ///< 0-based round index at the engine
+  FaultKind kind = FaultKind::kDropWindow;
+  int link = 0;   ///< target link (taken modulo the snapshot's link count)
+  int count = 1;  ///< kPartialSnapshot: how many links to drop
+  double value = 0.0;  ///< injected field value (may be NaN/Inf/negative)
+};
+
+/// A value-type fault timeline, kept sorted by round (stable, so events
+/// at the same round apply in insertion order).
+struct FaultScript {
+  std::vector<FaultEvent> events;
+
+  /// Append one event (re-sorts; scripts are built once, not hot).
+  FaultScript& add(FaultEvent event);
+  /// Splice another script's events into this one.
+  FaultScript& merge(const FaultScript& other);
+  /// Round of the last event, -1 for an empty script.
+  [[nodiscard]] int horizon() const;
+};
+
+// ---------------------------------------------------------------------------
+// Fault generators: pure functions of an RngStream, expanding a stochastic
+// fault process into a concrete deterministic script.
+
+/// Per round, with probability `prob`, corrupt one random link's loss
+/// estimates with a poison value drawn from {NaN, +Inf, -0.25, 1.5}.
+[[nodiscard]] FaultScript loss_corruption_faults(int rounds, double prob,
+                                                 int max_link, RngStream rng);
+
+/// Per round, with probability `prob`, blow one random link's capacity
+/// estimate up to `scale` times a uniform draw (an outlier far above any
+/// PHY rate) — or, one time in four, to a negative value.
+[[nodiscard]] FaultScript capacity_outlier_faults(int rounds, double prob,
+                                                  int max_link, RngStream rng,
+                                                  double scale = 1e12);
+
+/// Per round, with probability `prob`, the whole probe window is lost.
+[[nodiscard]] FaultScript window_dropout_faults(int rounds, double prob,
+                                                RngStream rng);
+
+/// Stale-snapshot replay bursts: with probability `prob` a burst starts,
+/// replaying the previous clean snapshot for 1..max_len rounds.
+[[nodiscard]] FaultScript stale_replay_faults(int rounds, double prob,
+                                              int max_len, RngStream rng);
+
+/// Per round, with probability `prob`, drop 1..max_links links from the
+/// snapshot (a partial measurement).
+[[nodiscard]] FaultScript partial_snapshot_faults(int rounds, double prob,
+                                                  int max_links,
+                                                  RngStream rng);
+
+/// Per round, with probability `prob`, the plan-apply path fails.
+[[nodiscard]] FaultScript apply_failure_faults(int rounds, double prob,
+                                               RngStream rng);
+
+// ---------------------------------------------------------------------------
+
+/// Wraps a SnapshotSource and applies a FaultScript to the rounds it
+/// yields. The base source is borrowed and advanced once per next() —
+/// faults corrupt the DELIVERED snapshot only, so the underlying
+/// simulation/trace (and every later round) is unaffected.
+///
+/// Per-round mechanics, in order:
+///  * kStaleReplay replaces the round's snapshot with the previous
+///    round's clean (pre-fault) one; with no previous round it degrades
+///    to a dropout.
+///  * kDropWindow empties the delivery (a lost probe window) — it
+///    overrides stale replay and makes corruption events moot.
+///  * kCorruptLoss / kCorruptCapacity / kPartialSnapshot then mutate the
+///    surviving delivery (link indices taken modulo its link count).
+///  * kApplyFailure does not touch the snapshot: it arms
+///    apply_fault_now() for the round, which a consumer wires into its
+///    actuation path (ControllerFleet does this for guarded fault cells;
+///    see also examples/fault_study.cpp).
+class FaultEngine final : public SnapshotSource {
+ public:
+  /// `base` is borrowed and must outlive the engine.
+  FaultEngine(SnapshotSource* base, FaultScript script);
+
+  bool next(MeasurementSnapshot& out) override;
+  [[nodiscard]] int remaining() const override { return base_->remaining(); }
+
+  /// Rounds delivered so far (the current round index is rounds()-1).
+  [[nodiscard]] int rounds() const { return round_ + 1; }
+  /// Did the last delivered round script a kApplyFailure?
+  [[nodiscard]] bool apply_fault_now() const { return apply_fault_; }
+  /// Fault events applied so far (kApplyFailure arms count).
+  [[nodiscard]] int faults_injected() const { return injected_; }
+  [[nodiscard]] const FaultScript& script() const { return script_; }
+
+ private:
+  SnapshotSource* base_;
+  FaultScript script_;
+  std::size_t cursor_ = 0;  ///< first script event not yet consumed
+  MeasurementSnapshot last_clean_;
+  bool have_last_ = false;
+  int round_ = -1;
+  bool apply_fault_ = false;
+  int injected_ = 0;
+};
+
+/// Apply `script` to a recorded trace, producing the faulted rounds a
+/// FaultEngine over a TraceSource would deliver. This is the replay-fleet
+/// composition: fault a shared trace once, then plan it under a grid of
+/// guarded ReplayCells. kApplyFailure events have no snapshot effect here.
+[[nodiscard]] std::vector<MeasurementSnapshot> fault_rounds(
+    const std::vector<MeasurementSnapshot>& rounds, const FaultScript& script);
+
+}  // namespace meshopt

@@ -6,7 +6,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/guard.h"
 #include "core/planner.h"
+#include "probe/live_source.h"
 #include "transport/udp.h"
 
 namespace meshopt {
@@ -30,6 +32,13 @@ FleetResult run_cell(const FleetCell& cell, const SweepJob& job) {
   }
 
   MeshController ctl(wb.net(), cell.controller, job.seed);
+  const bool guarded = cell.guarded || static_cast<bool>(cell.faults);
+  if (guarded) ctl.set_guard(cell.guard);
+
+  // The engine outlives the apply callbacks that consult it; it is only
+  // engaged (engine.has_value()) for fault cells, after the flows exist.
+  std::optional<FaultEngine> engine;
+
   std::vector<std::unique_ptr<UdpSource>> sources;
   sources.reserve(cell.flows.size());
   for (std::size_t i = 0; i < cell.flows.size(); ++i) {
@@ -48,7 +57,14 @@ FleetResult run_cell(const FleetCell& cell, const SweepJob& job) {
           wb.net(), mf.flow_id, UdpMode::kCbr, f.input_bps,
           RngStream(job.seed, "fleet-src-" + std::to_string(i)));
       UdpSource* raw = src.get();
-      mf.apply_rate = [raw](double x_bps) { raw->set_rate_bps(x_bps); };
+      // Scripted kApplyFailure rounds make every shaper program throw —
+      // the actuation-path fault the guarded controller must absorb
+      // (apply_plan_checked counts it and the loop falls back).
+      mf.apply_rate = [raw, &engine](double x_bps) {
+        if (engine.has_value() && engine->apply_fault_now())
+          throw std::runtime_error("fault: scripted shaper apply failure");
+        raw->set_rate_bps(x_bps);
+      };
       sources.push_back(std::move(src));
     }
     ctl.manage_flow(mf);
@@ -62,9 +78,29 @@ FleetResult run_cell(const FleetCell& cell, const SweepJob& job) {
   result.index = job.index;
   result.seed = job.seed;
   const int rounds = cell.rounds > 0 ? cell.rounds : 1;
-  for (int r = 0; r < rounds; ++r) {
-    const RoundResult round = ctl.run_round(wb);
-    result.ok = round.ok;
+  if (guarded) {
+    // The guarded loop pulls windows through the SnapshotSource chain:
+    // LiveSource (probing-window simulation), optionally wrapped by the
+    // cell's FaultEngine. Faults are generated from the cell seed, so a
+    // fault study is bit-identical across thread counts like everything
+    // else on the pool.
+    LiveSource live(wb, ctl);
+    SnapshotSource* source = &live;
+    if (cell.faults) {
+      engine.emplace(&live, cell.faults(job.seed));
+      source = &*engine;
+    }
+    for (int r = 0; r < rounds; ++r) {
+      const RoundResult round = ctl.guarded_round(*source);
+      result.ok = round.ok;
+    }
+    result.health = ctl.health_stats();
+    result.health_state = ctl.health();
+  } else {
+    for (int r = 0; r < rounds; ++r) {
+      const RoundResult round = ctl.run_round(wb);
+      result.ok = round.ok;
+    }
   }
   ctl.stop_probing();
   for (auto& src : sources) src->stop();
@@ -74,15 +110,48 @@ FleetResult run_cell(const FleetCell& cell, const SweepJob& job) {
   return result;
 }
 
+/// One guarded replay round: validate (repairing a copy), plan with the
+/// cache kept read-only for repaired inputs, guardrail the plan. Rejected
+/// snapshots and rejected plans yield a default (ok == false) RatePlan —
+/// a pure function of the round's snapshot, so segment sharding stays
+/// bit-identical (no last-known-good hold, no backoff; that state lives
+/// only in the live controller loop).
+RatePlan guarded_replay_round(Planner& planner, const ReplayCell& cell,
+                              const MeasurementSnapshot& round) {
+  MeasurementSnapshot snap = round;  // the repair tier mutates its copy
+  const SnapshotValidator validator(cell.guard.snapshot);
+  const ValidationReport report = validator.validate(snap);
+  if (!report.usable()) return RatePlan{};
+  const bool clean = report.verdict == SnapshotVerdict::kClean;
+  RatePlan plan = planner.plan(snap, cell.interference, cell.flows,
+                               cell.plan, 200000, /*cacheable=*/clean);
+  const PlanValidator guard(cell.guard.plan);
+  if (!guard.validate(plan, snap, cell.flows).ok) return RatePlan{};
+  return plan;
+}
+
 }  // namespace
 
 std::vector<FleetResult> ControllerFleet::run(
     const std::vector<FleetCell>& cells, std::uint64_t master_seed) {
-  return runner_.run(static_cast<int>(cells.size()), master_seed,
-                     [&cells](const SweepJob& job) {
-                       return run_cell(
-                           cells[static_cast<std::size_t>(job.index)], job);
-                     });
+  return runner_.run(
+      static_cast<int>(cells.size()), master_seed,
+      [&cells](const SweepJob& job) {
+        // Cell isolation: a throwing cell reports its error and every
+        // other cell completes normally. The caught texts are
+        // deterministic (every exception on this path is a pure function
+        // of the cell's inputs and seed), so fleet outputs stay
+        // bit-identical across thread counts even with failing cells.
+        try {
+          return run_cell(cells[static_cast<std::size_t>(job.index)], job);
+        } catch (const std::exception& e) {
+          FleetResult failed;
+          failed.index = job.index;
+          failed.seed = job.seed;
+          failed.error = e.what();
+          return failed;
+        }
+      });
 }
 
 std::vector<ReplayResult> ControllerFleet::replay(
@@ -116,33 +185,65 @@ std::vector<ReplayResult> ControllerFleet::replay(
   // — nothing to dispatch.
   if (jobs.empty()) return results;
 
+  // Segment isolation: a throwing segment records its error here (indexed
+  // by job, so no two workers write the same slot) and leaves its rounds
+  // at default plans; other segments — including the same cell's — finish.
+  std::vector<std::string> segment_errors(jobs.size());
+
   // Replay draws no randomness; the pool's per-job seed is unused. The
   // shared rounds are walked by reference — no snapshot (or LIR matrix)
-  // is copied per cell, segment, or round.
-  runner_.run_raw(static_cast<int>(jobs.size()), /*master_seed=*/0,
-                  [&jobs, &cells, &trace, &results,
-                   &opts](const SweepJob& job) {
-                    const Segment& sj =
-                        jobs[static_cast<std::size_t>(job.index)];
-                    const ReplayCell& cell =
-                        cells[static_cast<std::size_t>(sj.cell)];
-                    std::vector<RatePlan>& plans =
-                        results[static_cast<std::size_t>(sj.cell)].plans;
-                    Planner planner(opts.planner_cache);
-                    for (int r = sj.lo; r < sj.hi; ++r) {
-                      plans[static_cast<std::size_t>(r)] =
-                          planner.plan(trace[static_cast<std::size_t>(r)],
-                                       cell.interference, cell.flows,
-                                       cell.plan);
-                    }
-                  });
+  // is copied per cell, segment, or round (guarded cells copy one
+  // snapshot per round for the validator's repair tier).
+  runner_.run_raw(
+      static_cast<int>(jobs.size()), /*master_seed=*/0,
+      [&jobs, &cells, &trace, &results, &segment_errors,
+       &opts](const SweepJob& job) {
+        const Segment& sj = jobs[static_cast<std::size_t>(job.index)];
+        const ReplayCell& cell = cells[static_cast<std::size_t>(sj.cell)];
+        std::vector<RatePlan>& plans =
+            results[static_cast<std::size_t>(sj.cell)].plans;
+        try {
+          Planner planner(opts.planner_cache);
+          for (int r = sj.lo; r < sj.hi; ++r) {
+            const MeasurementSnapshot& round =
+                trace[static_cast<std::size_t>(r)];
+            plans[static_cast<std::size_t>(r)] =
+                cell.guarded
+                    ? guarded_replay_round(planner, cell, round)
+                    : planner.plan(round, cell.interference, cell.flows,
+                                   cell.plan);
+          }
+        } catch (const std::exception& e) {
+          // Reset the whole segment: rounds planned before the throw must
+          // not leak partial output (the documented contract is "a failed
+          // segment's rounds keep default plans").
+          for (int r = sj.lo; r < sj.hi; ++r)
+            plans[static_cast<std::size_t>(r)] = RatePlan{};
+          segment_errors[static_cast<std::size_t>(job.index)] = e.what();
+        }
+      });
+
+  // Surface each cell's first (lowest-round) segment error; jobs were
+  // emitted in (cell, lo) order, so the first non-empty slot per cell is
+  // the lowest-round one whatever thread count ran them.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (segment_errors[j].empty()) continue;
+    ReplayResult& result = results[static_cast<std::size_t>(jobs[j].cell)];
+    if (result.error.empty()) result.error = std::move(segment_errors[j]);
+  }
 
   for (ReplayResult& result : results) {
-    result.ok = rounds > 0;
+    result.ok = rounds > 0 && result.error.empty();
     for (const RatePlan& plan : result.plans)
       result.ok = result.ok && plan.ok;
   }
   return results;
+}
+
+std::vector<ReplayResult> ControllerFleet::replay_file(
+    const std::vector<ReplayCell>& cells, const std::string& trace_path,
+    const ReplayOptions& opts) {
+  return replay(cells, read_trace(trace_path, opts.on_corrupt_record), opts);
 }
 
 }  // namespace meshopt

@@ -28,11 +28,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/controller.h"
 #include "scenario/dynamics.h"
+#include "scenario/faults.h"
 #include "sweep/sweep_runner.h"
+#include "util/trace_codec.h"
 
 namespace meshopt {
 
@@ -67,6 +70,16 @@ struct FleetCell {
   /// scenario fleets — are bit-identical across thread counts). The engine
   /// is armed on the cell's Workbench before the first round.
   std::function<DynamicsScript(std::uint64_t cell_seed)> dynamics;
+  /// Optional measurement faults: builds the cell's FaultScript from the
+  /// cell seed (same determinism contract as `dynamics`). When set, the
+  /// cell's rounds run through the guarded controller loop with a
+  /// FaultEngine wrapped over the live snapshot source, and scripted
+  /// kApplyFailure rounds make every shaper callback throw.
+  std::function<FaultScript(std::uint64_t cell_seed)> faults;
+  /// Run the guarded loop even without a fault script (validated rounds,
+  /// health accounting). Implied by `faults`.
+  bool guarded = false;
+  GuardConfig guard{};  ///< guard tuning for guarded/faulted cells
 };
 
 /// Outcome of one cell: the last round's full control-plane record.
@@ -76,6 +89,14 @@ struct FleetResult {
   bool ok = false;         ///< last round produced a feasible plan
   MeasurementSnapshot snapshot;  ///< last sensed snapshot
   RatePlan plan;                 ///< last computed plan
+  /// Guarded/faulted cells: the controller's cumulative health counters
+  /// and final state (defaults otherwise).
+  HealthStats health{};
+  HealthState health_state = HealthState::kHealthy;
+  /// Cell isolation: a cell whose setup or round loop threw reports the
+  /// exception text here instead of poisoning the pool; every other cell
+  /// completes normally. Empty = the cell ran to completion.
+  std::string error;
 };
 
 /// One replay cell: how to plan the shared recorded trace. There is no
@@ -85,6 +106,14 @@ struct ReplayCell {
   std::vector<FlowSpec> flows;  ///< flows to plan (paths over trace links)
   PlanConfig plan{};            ///< objective / optimizer tuning / headroom
   InterferenceModelKind interference = InterferenceModelKind::kTwoHop;
+  /// Guarded replay: validate (and repair) every round before planning;
+  /// rejected rounds and guardrail-rejected plans yield a default
+  /// (ok == false) RatePlan for that round instead of a poisoned one.
+  /// Unlike the live guarded loop there is no last-known-good hold or
+  /// backoff — replay rounds stay pure functions of their snapshot, so
+  /// segment sharding remains bit-identical.
+  bool guarded = false;
+  GuardConfig guard{};
 };
 
 /// Outcome of one replay cell: every round's plan, in trace order.
@@ -92,6 +121,10 @@ struct ReplayResult {
   int index = -1;               ///< cell position in the grid
   bool ok = false;              ///< every round planned feasibly (and >0)
   std::vector<RatePlan> plans;  ///< one per trace round
+  /// Cell isolation, as FleetResult::error: the first (lowest-round)
+  /// exception text of the cell's jobs; rounds of a failed segment keep
+  /// default plans. Empty = every segment completed.
+  std::string error;
 };
 
 /// How replay work is cut into pool jobs.
@@ -106,6 +139,11 @@ struct ReplayOptions {
   int segment_rounds = 0;
   /// Planner model-cache entries per job (0 = uncached reference path).
   std::size_t planner_cache = 8;
+  /// How replay_file() treats a corrupt mid-trace record (bit rot, a
+  /// crashed recorder's tail): kThrow propagates the codec error,
+  /// kSkipAndCount skips damaged records and replays what survives (see
+  /// util/trace_codec.h).
+  OnCorruptRecord on_corrupt_record = OnCorruptRecord::kThrow;
 };
 
 /// Runs fleets of independent controller loops on a SweepRunner pool.
@@ -146,6 +184,14 @@ class ControllerFleet {
   [[nodiscard]] std::vector<ReplayResult> replay(
       const std::vector<ReplayCell>& cells,
       const std::vector<MeasurementSnapshot>& trace,
+      const ReplayOptions& opts = {});
+
+  /// Load a binary trace file and replay it. Honors
+  /// opts.on_corrupt_record: with kSkipAndCount a damaged trace replays
+  /// its surviving records instead of throwing (the skip count is not
+  /// surfaced here; use read_trace directly when it matters).
+  [[nodiscard]] std::vector<ReplayResult> replay_file(
+      const std::vector<ReplayCell>& cells, const std::string& trace_path,
       const ReplayOptions& opts = {});
 
  private:

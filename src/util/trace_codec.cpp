@@ -273,7 +273,8 @@ void TraceWriter::close() {
   if (rc != 0) throw std::runtime_error("TraceWriter: close failed");
 }
 
-TraceReader::TraceReader(const std::string& path) {
+TraceReader::TraceReader(const std::string& path, OnCorruptRecord policy)
+    : policy_(policy) {
   FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr)
     throw std::runtime_error("TraceReader: cannot open " + path);
@@ -320,43 +321,78 @@ bool TraceReader::next(MeasurementSnapshot& out) {
   }
 }
 
-bool TraceReader::next_impl(MeasurementSnapshot& out) {
-  FILE* f = as_file(file_);
-  unsigned char len_bytes[4];
-  const std::size_t got = std::fread(len_bytes, 1, 4, f);
-  // An I/O failure is a file problem (std::runtime_error, as the
-  // constructor contract), not a malformed trace — callers that
-  // quarantine traces on std::invalid_argument must not destroy a good
-  // file over a transient disk error.
-  if (got != 4 && std::ferror(f) != 0)
-    throw std::runtime_error("trace: read error");
-  if (got == 0 && std::feof(f)) return false;  // clean end of trace
-  if (got != 4)
-    throw std::invalid_argument("trace: truncated record length");
-  const std::uint32_t payload = static_cast<std::uint32_t>(len_bytes[0]) |
-                                static_cast<std::uint32_t>(len_bytes[1]) << 8 |
-                                static_cast<std::uint32_t>(len_bytes[2]) << 16 |
-                                static_cast<std::uint32_t>(len_bytes[3]) << 24;
-  consumed_ += 4;
-  if (static_cast<long long>(payload) > file_bytes_ - consumed_)
-    throw std::invalid_argument("trace: record length exceeds file size");
-  consumed_ += static_cast<long long>(payload);
-  scratch_.resize(payload);
-  if (payload > 0 &&
-      std::fread(scratch_.data(), 1, payload, f) != payload) {
-    if (std::ferror(f) != 0) throw std::runtime_error("trace: read error");
-    throw std::invalid_argument("trace: truncated record payload");
-  }
-  out = decode_snapshot(scratch_.data(), payload);
-  ++rounds_;
-  return true;
+bool TraceReader::give_up_tail() {
+  // kSkipAndCount over damaged FRAMING: with no trustworthy length prefix
+  // there is no resync point, so the remaining bytes are one corrupt tail.
+  // Count it and report a clean end — the intact prefix is the salvage.
+  ++corrupt_;
+  std::fclose(as_file(file_));
+  file_ = nullptr;
+  return false;
 }
 
-std::vector<MeasurementSnapshot> read_trace(const std::string& path) {
-  TraceReader reader(path);
+bool TraceReader::next_impl(MeasurementSnapshot& out) {
+  const bool salvage = policy_ == OnCorruptRecord::kSkipAndCount;
+  for (;;) {
+    FILE* f = as_file(file_);
+    unsigned char len_bytes[4];
+    const std::size_t got = std::fread(len_bytes, 1, 4, f);
+    // An I/O failure is a file problem (std::runtime_error, as the
+    // constructor contract), not a malformed trace — callers that
+    // quarantine traces on std::invalid_argument must not destroy a good
+    // file over a transient disk error. It propagates under EITHER
+    // policy, for the same reason.
+    if (got != 4 && std::ferror(f) != 0)
+      throw std::runtime_error("trace: read error");
+    if (got == 0 && std::feof(f)) return false;  // clean end of trace
+    if (got != 4) {
+      if (salvage) return give_up_tail();
+      throw std::invalid_argument("trace: truncated record length");
+    }
+    const std::uint32_t payload =
+        static_cast<std::uint32_t>(len_bytes[0]) |
+        static_cast<std::uint32_t>(len_bytes[1]) << 8 |
+        static_cast<std::uint32_t>(len_bytes[2]) << 16 |
+        static_cast<std::uint32_t>(len_bytes[3]) << 24;
+    consumed_ += 4;
+    if (static_cast<long long>(payload) > file_bytes_ - consumed_) {
+      if (salvage) return give_up_tail();
+      throw std::invalid_argument("trace: record length exceeds file size");
+    }
+    consumed_ += static_cast<long long>(payload);
+    scratch_.resize(payload);
+    if (payload > 0 &&
+        std::fread(scratch_.data(), 1, payload, f) != payload) {
+      if (std::ferror(f) != 0) throw std::runtime_error("trace: read error");
+      if (salvage) return give_up_tail();
+      throw std::invalid_argument("trace: truncated record payload");
+    }
+    // From here the stream already sits at the next record: a payload
+    // that fails to DECODE is individually skippable — the length-prefix
+    // framing is exactly what makes this safe.
+    if (salvage) {
+      try {
+        out = decode_snapshot(scratch_.data(), payload);
+      } catch (const std::invalid_argument&) {
+        ++corrupt_;
+        continue;
+      }
+    } else {
+      out = decode_snapshot(scratch_.data(), payload);
+    }
+    ++rounds_;
+    return true;
+  }
+}
+
+std::vector<MeasurementSnapshot> read_trace(const std::string& path,
+                                            OnCorruptRecord policy,
+                                            int* corrupt_records) {
+  TraceReader reader(path, policy);
   std::vector<MeasurementSnapshot> rounds;
   MeasurementSnapshot snap;
   while (reader.next(snap)) rounds.push_back(std::move(snap));
+  if (corrupt_records != nullptr) *corrupt_records = reader.corrupt_records();
   return rounds;
 }
 

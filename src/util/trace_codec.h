@@ -42,6 +42,24 @@ namespace meshopt {
 /// Trace container version written by this codec.
 inline constexpr std::uint32_t kTraceVersion = 1;
 
+/// What a reader does with a corrupt record (bit rot, a crashed
+/// recorder's damaged tail).
+///
+/// kSkipAndCount exploits the length-prefix framing: a record whose
+/// PAYLOAD fails to decode has a trustworthy extent (the prefix already
+/// positioned the stream at the next record), so the reader counts it and
+/// moves on. Damage to the framing itself — a length prefix pointing past
+/// the end of the file, or a short payload read — leaves no trustworthy
+/// resync point, so the reader counts one corrupt tail and reports a
+/// clean end of trace instead of throwing. I/O errors
+/// (std::runtime_error) always propagate under either policy: a transient
+/// disk failure is not trace corruption and must not silently shorten a
+/// replay.
+enum class OnCorruptRecord : std::uint8_t {
+  kThrow,         ///< propagate std::invalid_argument (the strict default)
+  kSkipAndCount,  ///< salvage every decodable record, count the damage
+};
+
 // -------------------------------------------------------------- in-memory
 
 /// Append one length-prefixed snapshot record to `out` (no file header).
@@ -102,26 +120,37 @@ class TraceReader {
  public:
   /// @throws std::runtime_error when the file cannot be opened;
   /// @throws std::invalid_argument when the header is not a version-1
-  ///         meshopt trace.
-  explicit TraceReader(const std::string& path);
+  ///         meshopt trace (the header is validated regardless of
+  ///         `policy` — a wrong-format file is a caller bug, not damage).
+  explicit TraceReader(const std::string& path,
+                       OnCorruptRecord policy = OnCorruptRecord::kThrow);
   ~TraceReader();
 
   TraceReader(const TraceReader&) = delete;
   TraceReader& operator=(const TraceReader&) = delete;
 
   /// Read the next record into `out`. Returns false at a clean
-  /// end-of-file. @throws std::invalid_argument on a truncated or
-  /// malformed record; @throws std::runtime_error on an I/O failure
-  /// (the file may be fine — do not treat it as corrupt). Any throw
-  /// poisons the reader (the stream position is no longer trustworthy);
-  /// subsequent next() calls throw std::runtime_error.
+  /// end-of-file. Under kThrow: @throws std::invalid_argument on a
+  /// truncated or malformed record, and any throw poisons the reader (the
+  /// stream position is no longer trustworthy; subsequent next() calls
+  /// throw std::runtime_error). Under kSkipAndCount: malformed records
+  /// are counted in corrupt_records() and skipped (see OnCorruptRecord),
+  /// so next() only returns false or a decoded record. Either way
+  /// @throws std::runtime_error on an I/O failure (the file may be fine —
+  /// do not treat it as corrupt).
   bool next(MeasurementSnapshot& out);
 
   /// Records successfully decoded so far.
   [[nodiscard]] int rounds_read() const { return rounds_; }
 
+  /// Corrupt records skipped so far (kSkipAndCount; 0 under kThrow). A
+  /// damaged tail counts as one.
+  [[nodiscard]] int corrupt_records() const { return corrupt_; }
+
  private:
   bool next_impl(MeasurementSnapshot& out);
+  /// End the stream early over untrustworthy framing (kSkipAndCount).
+  bool give_up_tail();
 
   void* file_ = nullptr;  ///< FILE*
   std::string scratch_;   ///< per-record decode buffer, capacity reused
@@ -130,12 +159,18 @@ class TraceReader {
   long long file_bytes_ = 0;
   long long consumed_ = 0;
   int rounds_ = 0;
+  int corrupt_ = 0;  ///< corrupt records skipped (kSkipAndCount)
+  OnCorruptRecord policy_ = OnCorruptRecord::kThrow;
   bool failed_ = false;  ///< poisoned by a record error; next() throws
 };
 
-/// Read a whole trace file into memory (TraceReader convenience).
+/// Read a whole trace file into memory (TraceReader convenience). Under
+/// kSkipAndCount the damaged records are skipped and, when
+/// `corrupt_records` is non-null, counted into it (0 on a pristine file).
 [[nodiscard]] std::vector<MeasurementSnapshot> read_trace(
-    const std::string& path);
+    const std::string& path,
+    OnCorruptRecord policy = OnCorruptRecord::kThrow,
+    int* corrupt_records = nullptr);
 
 /// Write a whole trace file (TraceWriter convenience).
 void write_trace(const std::string& path,

@@ -160,6 +160,51 @@ TEST(DynamicsEngine, NodeLeaveSilencesAndJoinRestoresExactly) {
       EXPECT_DOUBLE_EQ(ch.rss_dbm(a, b), before[i++]);
 }
 
+TEST(DynamicsEngine, ArmIsIdempotentAndNeverReplaysFiredEvents) {
+  Workbench wb(23);
+  build_gateway_chain(wb);
+  Channel& ch = wb.channel();
+  std::vector<double> before;
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = 0; b < 4; ++b) before.push_back(ch.rss_dbm(a, b));
+
+  DynamicsScript script = node_flap(3, 1.0, 2.0);
+  NetEvent rss;
+  rss.at_s = 3.0;
+  rss.kind = NetEventKind::kLinkRss;
+  rss.src = 0;
+  rss.dst = 1;
+  rss.value = -61.0;
+  script.add(rss);
+
+  DynamicsEngine engine(wb, std::move(script));
+  // Double arm before anything fires: every event must still apply once.
+  engine.arm();
+  engine.arm();
+  wb.run_for(1.5);
+  EXPECT_EQ(engine.applied(), 1);  // the leave fired exactly once
+
+  // Re-arm mid-run: the fired leave must not replay, and the still-pending
+  // rejoin and RSS step must not double-schedule.
+  engine.arm();
+  wb.run_for(1.0);  // t = 2.5: the rejoin fired
+  EXPECT_EQ(engine.applied(), 2);
+  std::size_t i = 0;
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = 0; b < 4; ++b)
+      EXPECT_DOUBLE_EQ(ch.rss_dbm(a, b), before[i++]) << a << "->" << b;
+
+  wb.run_for(1.0);  // t = 3.5: the RSS step fired
+  EXPECT_EQ(engine.applied(), 3);
+  EXPECT_DOUBLE_EQ(ch.rss_dbm(0, 1), -61.0);
+
+  // Re-arm after the whole script fired: nothing replays, nothing moves.
+  engine.arm();
+  wb.run_for(1.0);
+  EXPECT_EQ(engine.applied(), 3);
+  EXPECT_DOUBLE_EQ(ch.rss_dbm(0, 1), -61.0);
+}
+
 TEST(DynamicsEngine, LossOverlayOverridesAndFallsThrough) {
   Workbench wb(19);
   wb.add_nodes(2);

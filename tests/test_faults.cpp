@@ -1,0 +1,389 @@
+// Fault-injection plane tests: script ordering and generator determinism,
+// FaultEngine per-round mechanics (corruption, dropout, stale replay,
+// partial snapshots, apply-failure arming), fault_rounds composition, the
+// 200-round fault-injected fleet acceptance run (no uncaught exceptions,
+// FALLBACK entered and exited, bit-identical across 1 vs 4 threads and
+// repeated runs), cell/segment fault isolation, and guarded replay.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "core/snapshot_source.h"
+#include "scenario/dynamics.h"
+#include "scenario/faults.h"
+#include "scenario/topologies.h"
+#include "sweep/controller_fleet.h"
+#include "util/rng.h"
+
+namespace meshopt {
+namespace {
+
+SnapshotLink fault_link(NodeId src, NodeId dst, double capacity_bps) {
+  SnapshotLink l;
+  l.src = src;
+  l.dst = dst;
+  l.rate = Rate::kR11Mbps;
+  l.estimate.p_data = 0.1;
+  l.estimate.p_ack = 0.05;
+  l.estimate.p_link = 0.1;
+  l.estimate.capacity_bps = capacity_bps;
+  return l;
+}
+
+/// A deterministic 3-link chain trace with per-round capacity motion.
+std::vector<MeasurementSnapshot> synthetic_trace(int rounds) {
+  std::vector<MeasurementSnapshot> out;
+  out.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    MeasurementSnapshot snap;
+    const double wiggle = 1e5 * r;
+    snap.links = {fault_link(0, 1, 4e6 + wiggle),
+                  fault_link(1, 2, 3e6 + wiggle),
+                  fault_link(3, 2, 5e6 + wiggle)};
+    snap.neighbors = {{0, 1}, {1, 2}, {2, 3}};
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::vector<FlowSpec> replay_flows() {
+  FlowSpec far;
+  far.flow_id = 0;
+  far.path = {0, 1, 2};
+  FlowSpec near;
+  near.flow_id = 1;
+  near.path = {3, 2};
+  return {far, near};
+}
+
+TEST(FaultScript, AddMergeKeepRoundOrderAndHorizon) {
+  FaultScript script;
+  script.add({5, FaultKind::kDropWindow, 0, 1, 0.0})
+      .add({1, FaultKind::kCorruptLoss, 2, 1, 1.5});
+  ASSERT_EQ(script.events.size(), 2u);
+  EXPECT_EQ(script.events[0].kind, FaultKind::kCorruptLoss);
+  EXPECT_EQ(script.horizon(), 5);
+  EXPECT_EQ(FaultScript{}.horizon(), -1);
+
+  FaultScript other;
+  other.add({3, FaultKind::kApplyFailure, 0, 1, 0.0});
+  script.merge(other);
+  ASSERT_EQ(script.events.size(), 3u);
+  EXPECT_EQ(script.events[1].round, 3);
+}
+
+TEST(FaultGenerators, DeterministicInSeedAndWellFormed) {
+  const FaultScript a =
+      loss_corruption_faults(60, 0.3, 2, RngStream(5, "loss"));
+  const FaultScript b =
+      loss_corruption_faults(60, 0.3, 2, RngStream(5, "loss"));
+  ASSERT_EQ(a.events.size(), b.events.size());
+  ASSERT_GT(a.events.size(), 0u);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].round, b.events[i].round);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.events[i].value),
+              std::bit_cast<std::uint64_t>(b.events[i].value));
+    // Every poison is from the menu the validator must catch.
+    const double v = a.events[i].value;
+    EXPECT_TRUE(std::isnan(v) || std::isinf(v) || v == -0.25 || v == 1.5);
+    EXPECT_GE(a.events[i].link, 0);
+    EXPECT_LE(a.events[i].link, 2);
+  }
+
+  // A different seed moves the event set; other generators stay in range.
+  const FaultScript c =
+      loss_corruption_faults(60, 0.3, 2, RngStream(6, "loss"));
+  EXPECT_NE(a.events.size() == c.events.size() &&
+                a.events[0].round == c.events[0].round &&
+                std::bit_cast<std::uint64_t>(a.events[0].value) ==
+                    std::bit_cast<std::uint64_t>(c.events[0].value),
+            true);
+
+  const FaultScript stale =
+      stale_replay_faults(100, 0.05, 4, RngStream(7, "stale"));
+  for (const FaultEvent& e : stale.events) {
+    EXPECT_EQ(e.kind, FaultKind::kStaleReplay);
+    EXPECT_LT(e.round, 100);
+  }
+  const FaultScript cap =
+      capacity_outlier_faults(60, 0.4, 2, RngStream(8, "cap"));
+  ASSERT_GT(cap.events.size(), 0u);
+  for (const FaultEvent& e : cap.events)
+    EXPECT_TRUE(e.value < 0.0 || e.value >= 0.5e12);
+}
+
+TEST(FaultEngine, AppliesEachKindAtItsScriptedRound) {
+  const std::vector<MeasurementSnapshot> trace = synthetic_trace(6);
+  FaultScript script;
+  script.add({0, FaultKind::kStaleReplay, 0, 1, 0.0})  // no prior: dropout
+      .add({1, FaultKind::kCorruptLoss, 0, 1,
+            std::numeric_limits<double>::quiet_NaN()})
+      .add({2, FaultKind::kDropWindow, 0, 1, 0.0})
+      .add({3, FaultKind::kStaleReplay, 0, 1, 0.0})
+      .add({4, FaultKind::kPartialSnapshot, 1, 2, 0.0})
+      .add({5, FaultKind::kApplyFailure, 0, 1, 0.0});
+
+  TraceSource base(&trace);
+  FaultEngine engine(&base, script);
+  std::vector<MeasurementSnapshot> seen;
+  MeasurementSnapshot snap;
+  std::vector<bool> apply_faults;
+  while (engine.next(snap)) {
+    seen.push_back(snap);
+    apply_faults.push_back(engine.apply_fault_now());
+  }
+  ASSERT_EQ(seen.size(), 6u);
+
+  // Round 0: stale replay with nothing to replay degrades to a dropout.
+  EXPECT_TRUE(seen[0].links.empty());
+  // Round 1: loss fields poisoned on link 0, everything else untouched.
+  EXPECT_TRUE(std::isnan(seen[1].links[0].estimate.p_data));
+  EXPECT_TRUE(std::isnan(seen[1].links[0].estimate.p_ack));
+  EXPECT_EQ(seen[1].links[1], trace[1].links[1]);
+  // Round 2: dropped window.
+  EXPECT_TRUE(seen[2].links.empty());
+  // Round 3: stale replay delivers round 2's CLEAN snapshot (the drop
+  // corrupted the delivery, not the stash).
+  EXPECT_EQ(seen[3], trace[2]);
+  // Round 4: two links erased.
+  EXPECT_EQ(seen[4].links.size(), 1u);
+  // Round 5: snapshot untouched; the apply path is armed for this round
+  // only.
+  EXPECT_EQ(seen[5], trace[5]);
+  const std::vector<bool> want_apply = {false, false, false,
+                                        false, false, true};
+  EXPECT_EQ(apply_faults, want_apply);
+  EXPECT_EQ(engine.rounds(), 6);
+  EXPECT_EQ(engine.faults_injected(), 6);
+
+  // fault_rounds is the same walk as a value.
+  const std::vector<MeasurementSnapshot> faulted =
+      fault_rounds(trace, script);
+  ASSERT_EQ(faulted.size(), seen.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (i == 1) continue;  // NaN-poisoned round: == would be false
+    EXPECT_EQ(faulted[i], seen[i]) << "round " << i;
+  }
+  EXPECT_TRUE(std::isnan(faulted[1].links[0].estimate.p_data));
+}
+
+ControllerConfig fault_config() {
+  ControllerConfig cfg;
+  cfg.probe_period_s = 0.25;
+  cfg.probe_window = 20;
+  cfg.optimizer.objective = Objective::kProportionalFair;
+  return cfg;
+}
+
+std::vector<FleetCell> fault_study_cells(int rounds) {
+  std::vector<FleetCell> cells;
+  for (int v = 0; v < 2; ++v) {
+    FleetCell cell;
+    cell.build_topology = [](Workbench& wb) { build_gateway_chain(wb); };
+    cell.flows = {FleetFlow{{0, 1, 2}}, FleetFlow{{3, 2}}};
+    cell.controller = fault_config();
+    cell.rounds = rounds;
+    // Churn underneath: loss drift plus a mid-run flap of node 3.
+    cell.dynamics = [rounds](std::uint64_t seed) {
+      const double horizon = 5.0 * rounds;
+      DynamicsScript script = random_walk_loss_drift(
+          0, 1, Rate::kR1Mbps, 0.02, 0.01, 25.0, horizon,
+          RngStream(seed, "drift"));
+      script.merge(node_flap(3, 0.3 * horizon, 0.6 * horizon));
+      return script;
+    };
+    // Faults on top: dropouts, NaN/Inf loss corruption, stale replays.
+    cell.faults = [rounds](std::uint64_t seed) {
+      FaultScript script =
+          window_dropout_faults(rounds, 0.05, RngStream(seed, "drop"));
+      script.merge(
+          loss_corruption_faults(rounds, 0.08, 2, RngStream(seed, "loss")));
+      script.merge(
+          stale_replay_faults(rounds, 0.03, 3, RngStream(seed, "stale")));
+      return script;
+    };
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+TEST(FaultFleet, TwoHundredRoundFaultRunSurvivesAndIsBitIdentical) {
+  // The PR's acceptance run: 200 fault-injected rounds (dropout + NaN
+  // corruption + stale snapshots) over churn. Must complete without an
+  // uncaught exception, enter AND exit FALLBACK at script-determined
+  // rounds, and be bit-identical across thread counts and repeated runs.
+  ControllerFleet serial(1);
+  ControllerFleet parallel(4);
+  const auto a = serial.run(fault_study_cells(200), 911);
+  const auto b = parallel.run(fault_study_cells(200), 911);
+  const auto again = parallel.run(fault_study_cells(200), 911);
+  ASSERT_EQ(a.size(), 2u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].error.empty()) << a[i].error;
+    // The faulted loop genuinely cycled through the state machine.
+    EXPECT_EQ(a[i].health.rounds, 200u);
+    EXPECT_GT(a[i].health.fallback_entries, 0u) << "cell " << i;
+    EXPECT_GT(a[i].health.recoveries, 0u) << "cell " << i;
+    EXPECT_GT(a[i].health.snapshots_repaired, 0u);
+    EXPECT_GT(a[i].health.healthy_rounds, 0u);
+    // Bit-identity: 1 vs 4 threads, and run vs repeated run.
+    EXPECT_EQ(a[i].health, b[i].health) << "cell " << i;
+    EXPECT_EQ(a[i].health_state, b[i].health_state);
+    EXPECT_EQ(a[i].snapshot, b[i].snapshot) << "cell " << i;
+    EXPECT_EQ(a[i].plan, b[i].plan) << "cell " << i;
+    EXPECT_EQ(a[i].ok, b[i].ok);
+    EXPECT_EQ(b[i].health, again[i].health);
+    EXPECT_EQ(b[i].snapshot, again[i].snapshot);
+    EXPECT_EQ(b[i].plan, again[i].plan);
+  }
+}
+
+TEST(FaultFleet, ScriptedApplyFailuresFallBackAndRecover) {
+  FleetCell cell;
+  cell.build_topology = [](Workbench& wb) { build_gateway_chain(wb); };
+  cell.flows = {FleetFlow{{0, 1, 2}, Rate::kR1Mbps, false, 8e5},
+                FleetFlow{{3, 2}, Rate::kR1Mbps, false, 8e5}};
+  cell.controller = fault_config();
+  cell.rounds = 8;
+  cell.faults = [](std::uint64_t) {
+    FaultScript script;
+    script.add({2, FaultKind::kApplyFailure, 0, 1, 0.0});
+    return script;
+  };
+  ControllerFleet fleet(2);
+  const auto results = fleet.run({cell}, 313);
+  ASSERT_EQ(results.size(), 1u);
+  const FleetResult& r = results[0];
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_GT(r.health.apply_failures, 0u);
+  EXPECT_EQ(r.health.fallback_entries, 1u);
+  EXPECT_EQ(r.health.recoveries, 1u);
+  EXPECT_EQ(r.health_state, HealthState::kHealthy);  // healed by round 8
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(FaultFleet, ThrowingCellIsIsolatedFromThePool) {
+  auto make_cells = [] {
+    std::vector<FleetCell> cells(3);
+    for (FleetCell& cell : cells) {
+      cell.build_topology = [](Workbench& wb) { build_gateway_chain(wb); };
+      cell.flows = {FleetFlow{{0, 1, 2}}};
+      cell.controller = fault_config();
+      cell.rounds = 1;
+    }
+    cells[1].flows = {FleetFlow{{0}}};  // invalid: throws in setup
+    return cells;
+  };
+  ControllerFleet serial(1);
+  ControllerFleet parallel(4);
+  const auto a = serial.run(make_cells(), 99);
+  const auto b = parallel.run(make_cells(), 99);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a[0].error.empty());
+  EXPECT_TRUE(a[0].ok);
+  EXPECT_FALSE(a[1].error.empty());
+  EXPECT_FALSE(a[1].ok);
+  EXPECT_TRUE(a[2].error.empty());
+  EXPECT_TRUE(a[2].ok);
+  // Error strings are deterministic: bit-identical across thread counts.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].error, b[i].error) << "cell " << i;
+    EXPECT_EQ(a[i].plan, b[i].plan) << "cell " << i;
+  }
+}
+
+TEST(FaultReplay, GuardedReplaySurvivesAFaultedTraceAndShardsIdentically) {
+  const std::vector<MeasurementSnapshot> clean = synthetic_trace(20);
+  FaultScript script =
+      loss_corruption_faults(20, 0.3, 2, RngStream(17, "loss"));
+  script.merge(window_dropout_faults(20, 0.15, RngStream(17, "drop")));
+  const std::vector<MeasurementSnapshot> faulted =
+      fault_rounds(clean, script);
+
+  ReplayCell cell;
+  cell.flows = replay_flows();
+  cell.plan.optimizer.objective = Objective::kProportionalFair;
+  cell.guarded = true;
+
+  ControllerFleet serial(1);
+  ControllerFleet parallel(4);
+  ReplayOptions whole;
+  ReplayOptions sharded;
+  sharded.segment_rounds = 3;
+  const auto one = serial.replay({cell}, faulted, whole);
+  const auto many = parallel.replay({cell}, faulted, sharded);
+  ASSERT_EQ(one.size(), 1u);
+  ASSERT_EQ(one[0].plans.size(), 20u);
+  EXPECT_TRUE(one[0].error.empty());
+
+  bool any_rejected = false;
+  bool any_planned = false;
+  for (std::size_t r = 0; r < one[0].plans.size(); ++r) {
+    const RatePlan& plan = one[0].plans[r];
+    if (!plan.ok) {
+      any_rejected = true;
+      continue;
+    }
+    any_planned = true;
+    // Guarded plans never carry a poisoned number to the shapers.
+    for (const double y : plan.y) EXPECT_TRUE(std::isfinite(y));
+    for (const double x : plan.x) EXPECT_TRUE(std::isfinite(x));
+    // A finite plan also makes the per-round comparison below meaningful
+    // (operator== on a NaN plan would be vacuously false).
+    EXPECT_EQ(plan, many[0].plans[r]) << "round " << r;
+  }
+  EXPECT_TRUE(any_rejected);  // dropped windows reject
+  EXPECT_TRUE(any_planned);   // repaired rounds still plan
+  // Rejected rounds compare equal too (both default plans).
+  for (std::size_t r = 0; r < one[0].plans.size(); ++r) {
+    EXPECT_EQ(one[0].plans[r].ok, many[0].plans[r].ok) << "round " << r;
+  }
+}
+
+TEST(FaultReplay, ThrowingSegmentIsIsolatedAndReported) {
+  // Round 7 carries an LIR table whose arity mismatches the link count:
+  // under kLirTable the model build throws for exactly that segment.
+  std::vector<MeasurementSnapshot> trace = synthetic_trace(10);
+  trace[7].lir.resize(1, 1);
+  trace[7].lir(0, 0) = 1.0;
+
+  ReplayCell lir_cell;
+  lir_cell.flows = replay_flows();
+  lir_cell.interference = InterferenceModelKind::kLirTable;
+  ReplayCell twohop_cell;
+  twohop_cell.flows = replay_flows();
+
+  ReplayOptions opts;
+  opts.segment_rounds = 2;
+  ControllerFleet serial(1);
+  ControllerFleet parallel(4);
+  const auto a = serial.replay({lir_cell, twohop_cell}, trace, opts);
+  const auto b = parallel.replay({lir_cell, twohop_cell}, trace, opts);
+  ASSERT_EQ(a.size(), 2u);
+
+  // The LIR cell's rounds 6-7 segment failed; its other segments (and the
+  // two-hop cell entirely) completed.
+  EXPECT_FALSE(a[0].error.empty());
+  EXPECT_FALSE(a[0].ok);
+  EXPECT_FALSE(a[0].plans[6].ok);  // failed segment: default plans
+  EXPECT_FALSE(a[0].plans[7].ok);
+  EXPECT_TRUE(a[0].plans[0].ok);
+  EXPECT_TRUE(a[0].plans[9].ok);
+  EXPECT_TRUE(a[1].error.empty());
+  EXPECT_TRUE(a[1].ok);
+
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].error, b[c].error) << "cell " << c;
+    EXPECT_EQ(a[c].plans, b[c].plans) << "cell " << c;
+  }
+}
+
+}  // namespace
+}  // namespace meshopt

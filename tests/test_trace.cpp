@@ -481,5 +481,121 @@ TEST(TraceReplay, GoldenTraceFixtureReplays) {
   }
 }
 
+void write_bytes(const std::string& path, const std::string& bytes) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+std::uint32_t u32_at(const std::string& bytes, std::size_t at) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 1]))
+             << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 2]))
+             << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 3]))
+             << 24;
+}
+
+TEST(TraceCodec, SkipAndCountSkipsACorruptPayloadAndKeepsReading) {
+  const std::vector<MeasurementSnapshot> rounds = synthetic_trace();
+  std::string bytes = encode_trace(rounds);
+
+  // Walk the framing to record 1 and poison its payload's link count
+  // (0xffffffff can never fit the payload), leaving the length prefix —
+  // the resync point — intact. The record is individually undecodable but
+  // the stream position after it is still exact.
+  constexpr std::size_t kHeader = 16;
+  const std::size_t record1 = kHeader + 4 + u32_at(bytes, kHeader);
+  for (std::size_t i = 0; i < 4; ++i) bytes[record1 + 4 + i] = '\xff';
+
+  const std::string path = temp_path("corrupt-middle.trace");
+  write_bytes(path, bytes);
+
+  // The strict default refuses the whole trace.
+  EXPECT_THROW((void)read_trace(path), std::invalid_argument);
+
+  // Skip-and-count salvages both intact records, in order and bit-exact,
+  // and reports exactly one casualty.
+  int corrupt = -1;
+  const std::vector<MeasurementSnapshot> salvaged =
+      read_trace(path, OnCorruptRecord::kSkipAndCount, &corrupt);
+  ASSERT_EQ(salvaged.size(), 2u);
+  EXPECT_EQ(salvaged[0], rounds[0]);
+  EXPECT_EQ(salvaged[1], rounds[2]);
+  EXPECT_EQ(corrupt, 1);
+
+  // Same through the streaming reader and the SnapshotSource facade.
+  TraceReader reader(path, OnCorruptRecord::kSkipAndCount);
+  MeasurementSnapshot snap;
+  int read = 0;
+  while (reader.next(snap)) ++read;
+  EXPECT_EQ(read, 2);
+  EXPECT_EQ(reader.corrupt_records(), 1);
+
+  TraceSource source =
+      TraceSource::from_file(path, OnCorruptRecord::kSkipAndCount);
+  EXPECT_EQ(source.remaining(), 2);
+  EXPECT_EQ(source.corrupt_records(), 1);
+
+  // Fleet replay under the policy plans every salvaged round; the strict
+  // default propagates the decode error instead.
+  ReplayCell cell;
+  cell.flows.resize(1);
+  cell.flows[0].flow_id = 0;
+  cell.flows[0].path = {0, 1, 2};
+  ControllerFleet fleet(1);
+  ReplayOptions opts;
+  opts.on_corrupt_record = OnCorruptRecord::kSkipAndCount;
+  const std::vector<ReplayResult> results =
+      fleet.replay_file({cell}, path, opts);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok);
+  ASSERT_EQ(results[0].plans.size(), 2u);
+  EXPECT_THROW((void)fleet.replay_file({cell}, path, ReplayOptions{}),
+               std::invalid_argument);
+}
+
+TEST(TraceCodec, SkipAndCountSalvagesThePrefixWhenFramingIsDamaged) {
+  const std::vector<MeasurementSnapshot> rounds = synthetic_trace();
+
+  // A record chopped mid-payload: past the damage there is no trustworthy
+  // length prefix to resync on, so the salvage is the intact prefix plus
+  // one counted corrupt tail.
+  std::string chopped = encode_trace(rounds);
+  chopped.pop_back();
+  const std::string tail_path = temp_path("corrupt-tail.trace");
+  write_bytes(tail_path, chopped);
+
+  EXPECT_THROW((void)read_trace(tail_path), std::invalid_argument);
+  int corrupt = -1;
+  const std::vector<MeasurementSnapshot> salvaged =
+      read_trace(tail_path, OnCorruptRecord::kSkipAndCount, &corrupt);
+  ASSERT_EQ(salvaged.size(), 2u);
+  EXPECT_EQ(salvaged[0], rounds[0]);
+  EXPECT_EQ(salvaged[1], rounds[1]);
+  EXPECT_EQ(corrupt, 1);
+
+  // A length prefix pointing past end-of-file is the same framing damage.
+  std::string hostile = encode_trace(rounds);
+  for (std::size_t i = 16; i < 20; ++i) hostile[i] = '\xff';
+  const std::string hostile_path = temp_path("corrupt-length.trace");
+  write_bytes(hostile_path, hostile);
+  corrupt = -1;
+  EXPECT_TRUE(
+      read_trace(hostile_path, OnCorruptRecord::kSkipAndCount, &corrupt)
+          .empty());
+  EXPECT_EQ(corrupt, 1);
+
+  // A pristine trace reads identically under either policy, zero counted.
+  const std::string clean_path = temp_path("corrupt-none.trace");
+  write_trace(clean_path, rounds);
+  corrupt = -1;
+  EXPECT_EQ(read_trace(clean_path, OnCorruptRecord::kSkipAndCount, &corrupt),
+            rounds);
+  EXPECT_EQ(corrupt, 0);
+}
+
 }  // namespace
 }  // namespace meshopt
