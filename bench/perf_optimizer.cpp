@@ -41,6 +41,10 @@
 #define MESHOPT_BENCH_HAS_PLANNER 1
 #include "core/planner.h"
 #endif
+#if __has_include("opt/column_gen.h")
+#define MESHOPT_BENCH_HAS_COLGEN 1
+#include "opt/column_gen.h"
+#endif
 #if __has_include("scenario/dynamics.h")
 #define MESHOPT_BENCH_HAS_DYNAMICS 1
 #include "scenario/dynamics.h"
@@ -597,6 +601,48 @@ void BM_ReplayCachedModel(benchmark::State& state) {
   state.counters["K"] = extreme_points;
 }
 BENCHMARK(BM_ReplayCachedModel)->Arg(0)->Arg(1);
+
+#ifdef MESHOPT_BENCH_HAS_COLGEN
+// Plan tiers on the same MIS/80-class replay, now timing whole planned
+// rounds (model + plan, proportional fair). Arg(0) is the exact tier:
+// the LP over all K ~ 5.5k extreme-point columns dominates. Arg(1) is
+// the fast tier: column generation prices in a few dozen columns against
+// the conflict graph and warm-starts each round from the previous one's
+// working set and basis. items/s = planned rounds per second; the
+// Arg(1)/Arg(0) ratio is the tier speedup pinned in BENCH_core.json
+// (>= 5x), bought at a <= 1e-6 relative objective gap
+// (tests/test_plan_tiers.cpp).
+void BM_ReplayColumnGen(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  const std::vector<MeasurementSnapshot> trace = mis80_trace(16);
+  std::vector<FlowSpec> flows(3);
+  flows[0].flow_id = 0;
+  flows[0].path = {0, 1, 2, 3, 4, 5};
+  flows[1].flow_id = 1;
+  flows[1].path = {38, 39, 40, 41, 42, 43};
+  flows[2].flow_id = 2;
+  flows[2].path = {75, 76, 77, 78, 79, 80};
+  PlanConfig cfg;
+  cfg.optimizer.objective = Objective::kProportionalFair;
+  cfg.tier = fast ? PlanTier::kFast : PlanTier::kExact;
+  Planner planner(4);
+  std::int64_t rounds = 0;
+  int extreme_points = 0;
+  for (auto _ : state) {
+    for (const MeasurementSnapshot& snap : trace) {
+      const RatePlan plan =
+          planner.plan(snap, InterferenceModelKind::kLirTable, flows, cfg);
+      extreme_points = plan.extreme_points;
+      benchmark::DoNotOptimize(plan);
+      ++rounds;
+    }
+  }
+  state.SetItemsProcessed(rounds);
+  state.counters["K"] = extreme_points;
+}
+BENCHMARK(BM_ReplayColumnGen)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+#endif
 #endif
 
 #ifdef MESHOPT_BENCH_HAS_DYNAMICS

@@ -70,20 +70,31 @@ int main(int argc, char** argv) {
   const std::vector<MeasurementSnapshot> trace = read_trace(path);
   const std::uint64_t sims_before = Simulator::constructed();
 
+  // Each objective replays on both plan tiers (ARCHITECTURE.md, "Plan
+  // tiers"): kExact is the bit-identical reference, kFast the
+  // column-generation path whose objective tracks exact to <= 1e-6
+  // relative — at gateway scale (tiny K) the tiers cost about the same;
+  // at MIS/80-class K the fast tier is the difference between a replay
+  // grid taking minutes and taking seconds (BM_ReplayColumnGen).
   struct Variant {
     const char* name;
     Objective objective;
+    PlanTier tier;
   };
-  const std::vector<Variant> variants = {
-      {"max-throughput", Objective::kMaxThroughput},
-      {"proportional", Objective::kProportionalFair},
-      {"max-min", Objective::kMaxMin},
-  };
+  std::vector<Variant> variants;
+  for (const auto& [name, obj] :
+       {std::pair{"max-throughput", Objective::kMaxThroughput},
+        std::pair{"proportional", Objective::kProportionalFair},
+        std::pair{"max-min", Objective::kMaxMin}}) {
+    variants.push_back({name, obj, PlanTier::kExact});
+    variants.push_back({name, obj, PlanTier::kFast});
+  }
   std::vector<ReplayCell> cells;
   for (const Variant& v : variants) {
     ReplayCell cell;
     cell.flows = ctl.flow_specs();
     cell.plan.optimizer.objective = v.objective;
+    cell.plan.tier = v.tier;
     cells.push_back(std::move(cell));
   }
 
@@ -95,8 +106,8 @@ int main(int argc, char** argv) {
               trace.size(), cells.size(),
               static_cast<unsigned long long>(Simulator::constructed() -
                                               sims_before));
-  std::printf("%16s %14s %14s %10s\n", "objective", "mean y0 (Mb/s)",
-              "mean y1 (Mb/s)", "rounds ok");
+  std::printf("%16s %6s %14s %14s %10s\n", "objective", "tier",
+              "mean y0 (Mb/s)", "mean y1 (Mb/s)", "rounds ok");
   for (std::size_t i = 0; i < results.size(); ++i) {
     double y0 = 0.0, y1 = 0.0;
     int ok = 0;
@@ -107,7 +118,8 @@ int main(int argc, char** argv) {
       y1 += plan.y[1];
     }
     const double denom = ok > 0 ? static_cast<double>(ok) : 1.0;
-    std::printf("%16s %14.3f %14.3f %7d/%zu\n", variants[i].name,
+    std::printf("%16s %6s %14.3f %14.3f %7d/%zu\n", variants[i].name,
+                variants[i].tier == PlanTier::kFast ? "fast" : "exact",
                 y0 / denom / 1e6, y1 / denom / 1e6, ok,
                 results[i].plans.size());
   }

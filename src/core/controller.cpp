@@ -227,12 +227,13 @@ RoundResult MeshController::optimize_and_apply() {
     return round;
   }
 
-  // Model through the planner: rounds whose topology fingerprint matches
-  // the previous round reuse the cached MIS enumeration (bit-identical to
-  // an uncached InterferenceModel::build, pinned in tests/test_planner.cpp).
-  const InterferenceModel& model =
-      planner_.model(snapshot_, cfg_.interference);
-  plan_ = plan_rates(snapshot_, model, flow_specs(), cfg_.plan());
+  // Model + plan through the planner: rounds whose topology fingerprint
+  // matches the previous round reuse the cached MIS enumeration
+  // (bit-identical to an uncached InterferenceModel::build, pinned in
+  // tests/test_planner.cpp), and fast-tier plans additionally reuse the
+  // entry's column-generation warm state across rounds.
+  plan_ = planner_.plan(snapshot_, cfg_.interference, flow_specs(),
+                        cfg_.plan());
   if (!plan_.ok) return round;
 
   apply_plan(plan_);
@@ -338,9 +339,9 @@ RoundResult MeshController::guarded_step(MeasurementSnapshot snap) {
   // Model + plan. A repaired snapshot's topology must not be cached: the
   // planner builds it off to the side so the LRU never holds an entry
   // derived from corrupted measurements.
-  const InterferenceModel& model = planner_.model(
-      snapshot_, cfg_.interference, /*mis_cap=*/200000, /*cacheable=*/clean);
-  RatePlan plan = plan_rates(snapshot_, model, flow_specs(), cfg_.plan());
+  RatePlan plan =
+      planner_.plan(snapshot_, cfg_.interference, flow_specs(), cfg_.plan(),
+                    /*mis_cap=*/200000, /*cacheable=*/clean);
 
   const PlanValidator plan_validator(guard_cfg_.plan);
   const PlanCheck check = plan_validator.validate(plan, snapshot_,

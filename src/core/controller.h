@@ -51,14 +51,19 @@ struct ControllerConfig {
   InterferenceModelKind interference = InterferenceModelKind::kTwoHop;
   /// Optional global scale-down of computed input rates (1.0 = none).
   double headroom = 1.0;
+  /// Plan tier (ARCHITECTURE.md, "Plan tiers"): kExact is the
+  /// bit-identical reference path; kFast plans via column generation with
+  /// cross-round warm starts — objective gap-bounded (<= 1e-6 relative vs
+  /// exact), not bit-identical to it.
+  PlanTier plan_tier = PlanTier::kExact;
   /// Planner model-cache entries (0 disables: every round re-enumerates).
   /// Rounds whose snapshot keeps the previous topology fingerprint reuse
   /// the cached MIS rows; plans are bit-identical either way.
   std::size_t planner_cache = 4;
 
-  /// The plan-stage slice of this config (optimizer + headroom).
+  /// The plan-stage slice of this config (optimizer + headroom + tier).
   [[nodiscard]] PlanConfig plan() const {
-    return PlanConfig{optimizer, headroom};
+    return PlanConfig{optimizer, headroom, plan_tier};
   }
 };
 

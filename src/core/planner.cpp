@@ -30,10 +30,12 @@ const InterferenceModel& Planner::model(const MeasurementSnapshot& snap,
 
   const std::uint64_t fp = snap.topology_fingerprint();
   ++clock_;
+  last_entry_ = nullptr;
   for (Entry& e : entries_) {
     if (e.fingerprint == fp && matches(e, snap, kind, mis_cap)) {
       e.last_used = clock_;
       ++stats_.hits;
+      last_entry_ = &e;
       // The topology fixes the nonzero positions, so the round's
       // capacities overwrite exactly the member cells of the entry's
       // matrix — bit-identical to a full refill, nnz writes instead of
@@ -44,7 +46,12 @@ const InterferenceModel& Planner::model(const MeasurementSnapshot& snap,
     }
   }
 
-  ++stats_.misses;
+  // Repaired-snapshot builds are barred from storing an entry, so they are
+  // not cache misses — a miss implies the cache could have held it.
+  if (!cacheable)
+    ++stats_.uncacheable_plans;
+  else
+    ++stats_.misses;
   InterferenceTopology topo =
       InterferenceModel::build_topology(snap, kind, mis_cap);
   if (capacity_ == 0 || !cacheable) {
@@ -77,6 +84,7 @@ const InterferenceModel& Planner::model(const MeasurementSnapshot& snap,
   e.model.emplace(std::move(built));
   e.last_used = clock_;
   entries_.push_back(std::move(e));
+  last_entry_ = &entries_.back();
   return *entries_.back().model;
 }
 
@@ -85,11 +93,19 @@ RatePlan Planner::plan(const MeasurementSnapshot& snap,
                        const std::vector<FlowSpec>& flows,
                        const PlanConfig& cfg, std::size_t mis_cap,
                        bool cacheable) {
-  return plan_rates(snap, model(snap, kind, mis_cap, cacheable), flows, cfg);
+  const InterferenceModel& m = model(snap, kind, mis_cap, cacheable);
+  ColumnGenOptimizer* warm = nullptr;
+  if (cfg.tier == PlanTier::kFast && last_entry_ != nullptr) {
+    if (!last_entry_->column_gen)
+      last_entry_->column_gen = std::make_unique<ColumnGenOptimizer>();
+    warm = last_entry_->column_gen.get();
+  }
+  return plan_rates(snap, m, flows, cfg, warm);
 }
 
 void Planner::clear() {
   entries_.clear();
+  last_entry_ = nullptr;
   uncached_.reset();
   clock_ = 0;
   stats_ = PlannerStats{};

@@ -32,6 +32,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -45,8 +46,14 @@ namespace meshopt {
 /// Cache accounting, cumulative since construction (or clear()).
 struct PlannerStats {
   std::uint64_t hits = 0;       ///< model() calls served from the cache
-  std::uint64_t misses = 0;     ///< calls that ran Bron–Kerbosch
+  std::uint64_t misses = 0;     ///< cacheable calls that ran Bron–Kerbosch
   std::uint64_t evictions = 0;  ///< entries displaced by LRU pressure
+  /// model(cacheable=false) calls that found no resident entry — the
+  /// guarded controller's REPAIRED snapshots. Counted apart from misses:
+  /// these builds are barred from storing an entry by design, so charging
+  /// them as misses would make hit-rate accounting under faults dishonest
+  /// (a fault storm would look like cache thrash).
+  std::uint64_t uncacheable_plans = 0;
 };
 
 /// Model/plan stages with a topology-keyed cache of the MIS enumeration.
@@ -81,6 +88,16 @@ class Planner {
 
   /// model() + plan_rates() in one call — the whole pure half of a
   /// controller round over one snapshot.
+  ///
+  /// Plan tiers: with cfg.tier == PlanTier::kFast and the model served
+  /// from (or stored into) a cache entry, the entry's ColumnGenOptimizer
+  /// is passed as warm state, so the working column set and LP basis
+  /// carry across rounds of the same topology epoch — the cross-round
+  /// warm start that makes fast-tier replay sublinear in K. Warm state is
+  /// keyed to the entry (it dies with eviction/clear and is never shared
+  /// across topologies); uncached and uncacheable calls run the fast tier
+  /// cold. The exact tier is unaffected and stays bit-identical to the
+  /// uncached build + plan_rates path.
   [[nodiscard]] RatePlan plan(const MeasurementSnapshot& snap,
                               InterferenceModelKind kind,
                               const std::vector<FlowSpec>& flows,
@@ -112,6 +129,10 @@ class Planner {
     std::uint64_t lir_threshold_bits = 0;
     InterferenceTopology topology;
     std::optional<InterferenceModel> model;
+    /// Fast-tier warm state (working columns + carried basis), created on
+    /// the first kFast plan through this entry. Entry-owned so it can
+    /// never outlive — or be replayed against — a different topology.
+    std::unique_ptr<ColumnGenOptimizer> column_gen;
     std::uint64_t last_used = 0;
   };
 
@@ -122,6 +143,11 @@ class Planner {
 
   std::size_t capacity_;
   std::vector<Entry> entries_;
+  /// Entry that served the most recent model() call (nullptr when it went
+  /// through the uncached/uncacheable path). Only read by plan()
+  /// immediately after its model() call — any later model()/clear() may
+  /// invalidate it (entries_ can reallocate).
+  Entry* last_entry_ = nullptr;
   std::uint64_t clock_ = 0;  ///< LRU stamp source
   PlannerStats stats_;
   /// Holds the model when caching is disabled (capacity 0): cached models

@@ -12,6 +12,7 @@
 
 #include "core/interference.h"
 #include "core/snapshot.h"
+#include "opt/column_gen.h"
 #include "opt/network_optimizer.h"
 #include "phy/radio.h"
 
@@ -32,6 +33,14 @@ struct PlanConfig {
   OptimizerConfig optimizer{};
   /// Global scale-down of computed input rates (1.0 = none).
   double headroom = 1.0;
+  /// Which planning path runs (ARCHITECTURE.md, "Plan tiers"):
+  /// kExact — the full-K extreme-point path, bit-identical across thread
+  /// counts, replay vs live, cached vs cold (the default and the
+  /// reference);
+  /// kFast — column generation over the conflict graph, objective within
+  /// a 1e-6 relative gap of kExact (CI-pinned) but NOT bit-identical to
+  /// it; still a deterministic function of (inputs, replay configuration).
+  PlanTier tier = PlanTier::kExact;
 };
 
 /// One rate-limiter program: flow `flow_id` shaped to `x_bps` input rate.
@@ -49,8 +58,16 @@ struct RatePlan {
   std::vector<double> x;  ///< input rates per flow after loss compensation,
                           ///< TCP ACK discount and headroom (bits/s)
   std::vector<ShaperProgram> shapers;  ///< one per flow, in flow order
-  int extreme_points = 0;              ///< K of the rate region used
+  int extreme_points = 0;              ///< K of the rate region used: full K
+                                       ///< (exact) or working-set size (fast)
   int optimizer_iterations = 0;        ///< Frank–Wolfe iterations used
+
+  // Tier metadata. Both tiers report objective_value; the column-
+  // generation counters stay 0 on the exact tier.
+  PlanTier tier = PlanTier::kExact;  ///< which tier produced this plan
+  double objective_value = 0.0;      ///< attained utility (objective units)
+  int columns_generated = 0;  ///< fast tier: working-set columns at finish
+  int pricing_rounds = 0;     ///< fast tier: pricing-oracle invocations
 
   friend bool operator==(const RatePlan&, const RatePlan&) = default;
 };
@@ -68,5 +85,18 @@ struct RatePlan {
                                   const InterferenceModel& model,
                                   const std::vector<FlowSpec>& flows,
                                   const PlanConfig& cfg);
+
+/// Overload with fast-tier warm state: when cfg.tier == PlanTier::kFast
+/// and `warm` is non-null, the solve reuses `warm`'s working column set
+/// and carried basis (the cross-round warm start; the Planner passes its
+/// per-topology-entry instance). A null `warm` runs the fast tier cold;
+/// the exact tier ignores the argument entirely. The caller owns keeping
+/// `warm` keyed to the snapshot's topology — a warm instance must only
+/// ever see one conflict-graph structure (see ColumnGenOptimizer::reset).
+[[nodiscard]] RatePlan plan_rates(const MeasurementSnapshot& snapshot,
+                                  const InterferenceModel& model,
+                                  const std::vector<FlowSpec>& flows,
+                                  const PlanConfig& cfg,
+                                  ColumnGenOptimizer* warm);
 
 }  // namespace meshopt

@@ -67,6 +67,11 @@ struct OptimizerResult {
                                       ///< points, length K, sum to 1
   double objective_value = 0.0;       ///< attained utility (objective units)
   int iterations = 0;                 ///< Frank–Wolfe iterations used
+  int columns_used = 0;    ///< column generation only: working-set size the
+                           ///< restricted master finished with (0 for the
+                           ///< exact full-K solver)
+  int pricing_rounds = 0;  ///< column generation only: pricing-oracle
+                           ///< invocations across the solve
 };
 
 /// Reusable solver for the paper's utility maximization.

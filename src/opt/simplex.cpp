@@ -39,6 +39,24 @@ void LpProblem::add_constraint(const std::vector<double>& coeffs_row,
   std::copy(coeffs_row.begin(), coeffs_row.end(), row);
 }
 
+void LpProblem::append_vars(int count) {
+  if (count <= 0) return;
+  const int old_vars = num_vars;
+  num_vars += count;
+  objective.resize(static_cast<std::size_t>(num_vars), 0.0);
+  if (coeffs.rows() == 0) {
+    coeffs.clear();
+    coeffs.set_cols(num_vars);
+    return;
+  }
+  DenseMatrix wide(coeffs.rows(), num_vars, 0.0);
+  for (int r = 0; r < coeffs.rows(); ++r) {
+    const double* src = coeffs.row(r);
+    std::copy(src, src + old_vars, wide.row(r));
+  }
+  coeffs = std::move(wide);
+}
+
 /// Build the standard-form tableau: original variables, then slack/surplus
 /// columns, then artificial columns; the last tableau column is the RHS.
 void LpSolver::load(const LpProblem& p) {
@@ -72,6 +90,8 @@ void LpSolver::load(const LpProblem& p) {
   stride_ = (n_ + 1 + 7) & ~7;
   tab_.resize(m_, stride_, 0.0);
   basis_.assign(static_cast<std::size_t>(m_), -1);
+  unit_col_.assign(static_cast<std::size_t>(m_), -1);
+  row_sign_.assign(static_cast<std::size_t>(m_), 1.0);
 
   int next_slack = n_orig_;
   int next_art = first_artificial_;
@@ -84,6 +104,7 @@ void LpSolver::load(const LpProblem& p) {
     double* row = tab_.row(i);
     for (int j = 0; j < n_orig_; ++j) row[j] = sign * src[j];
     row[n_] = sign * in_rhs;
+    row_sign_[static_cast<std::size_t>(i)] = sign;
 
     if (rel == Relation::kLe) {
       row[next_slack] = 1.0;
@@ -96,6 +117,11 @@ void LpSolver::load(const LpProblem& p) {
       row[next_art] = 1.0;
       basis_[static_cast<std::size_t>(i)] = next_art++;
     }
+    // The initially-basic column starts as a unit vector, so after any
+    // pivot sequence its tableau column is the corresponding column of
+    // the basis inverse — the handle duals() and
+    // resolve_with_added_columns() read B^-1 through.
+    unit_col_[static_cast<std::size_t>(i)] = basis_[static_cast<std::size_t>(i)];
   }
 }
 
@@ -298,6 +324,119 @@ LpSolution LpSolver::resolve_objective(const LpProblem& problem) {
   // and re-running phase 2 restarts from the previous optimum.
   const LpStatus st = phase2(problem.objective);
   if (st != LpStatus::kOptimal) basis_cached_ = false;
+  return finish(problem, st);
+}
+
+void LpSolver::duals(std::vector<double>& out) const {
+  out.assign(static_cast<std::size_t>(m_), 0.0);
+  // After phase 2 the reduced cost of row i's initially-basic unit column
+  // is -lambda_i in the sign-normalized problem; undo the rhs flip to
+  // report duals in the caller's row orientation.
+  for (int i = 0; i < m_; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        -obj_[static_cast<std::size_t>(unit_col_[static_cast<std::size_t>(i)])] *
+        row_sign_[static_cast<std::size_t>(i)];
+  }
+}
+
+LpSolution LpSolver::resolve_with_added_columns(const LpProblem& problem) {
+  const int added = problem.num_vars - n_orig_;
+  if (!basis_cached_ || added <= 0 || problem.num_constraints() != m_ ||
+      problem.rels != cached_rels_ || problem.rhs != cached_rhs_) {
+    return solve(problem);  // not a pure column append: cold path
+  }
+  // Transform each appended column a_j into basis coordinates, t_j =
+  // B^-1 a_j, using the initially-basic unit columns of the current
+  // tableau as B^-1 (one m x m multiply per column — no refactorization),
+  // then splice the transformed columns in after the old caller variables
+  // and re-run phase 2 from the cached basis.
+  const int new_orig = problem.num_vars;
+  const int new_n = n_ + added;
+  const int new_stride = (new_n + 1 + 7) & ~7;
+  DenseMatrix tab2(m_, new_stride, 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const double* src = tab_.row(i);
+    double* dst = tab2.row(i);
+    std::copy(src, src + n_orig_, dst);
+    for (int j = 0; j < added; ++j) {
+      double acc = 0.0;
+      for (int r = 0; r < m_; ++r) {
+        acc += src[unit_col_[static_cast<std::size_t>(r)]] *
+               row_sign_[static_cast<std::size_t>(r)] *
+               problem.coeffs(r, n_orig_ + j);
+      }
+      dst[n_orig_ + j] = acc;
+    }
+    // Slack/artificial block and the RHS shift right by `added`.
+    std::copy(src + n_orig_, src + n_ + 1, dst + new_orig);
+  }
+  tab_ = std::move(tab2);
+  stride_ = new_stride;
+  for (int& b : basis_)
+    if (b >= n_orig_) b += added;
+  for (int& u : unit_col_)
+    if (u >= n_orig_) u += added;
+  n_orig_ = new_orig;
+  n_ = new_n;
+  first_artificial_ += added;
+
+  const LpStatus st = phase2(problem.objective);
+  if (st != LpStatus::kOptimal) basis_cached_ = false;
+  return finish(problem, st);
+}
+
+LpSolution LpSolver::solve_with_basis(const LpProblem& problem,
+                                      const std::vector<int>& hint) {
+  basis_cached_ = false;
+  if (problem.num_vars <= 0 ||
+      static_cast<int>(hint.size()) != problem.num_constraints())
+    return solve(problem);
+  if (problem.coeffs.rows() > 0 && problem.coeffs.cols() != problem.num_vars)
+    throw std::invalid_argument("LP constraint arity mismatch");
+  if (static_cast<int>(problem.rels.size()) != problem.num_constraints() ||
+      static_cast<int>(problem.rhs.size()) != problem.num_constraints())
+    throw std::invalid_argument("LP rels/rhs size != constraint rows");
+  load(problem);
+  // Validate the hint against the fresh tableau layout: every entry must
+  // name a distinct existing column.
+  std::vector<char> seen(static_cast<std::size_t>(n_), 0);
+  for (int b : hint) {
+    if (b < 0 || b >= n_ || seen[static_cast<std::size_t>(b)])
+      return solve(problem);
+    seen[static_cast<std::size_t>(b)] = 1;
+  }
+  // pivot() folds each elimination into the objective row too; give it a
+  // zeroed row of the current stride (phase 2 rebuilds the real one).
+  obj_.assign(static_cast<std::size_t>(stride_), 0.0);
+  // Crash the hinted basis in row by row. Once column c is pivoted into
+  // row i it stays a unit column through the remaining pivots (each later
+  // pivot column has a zero entry in every previously pivoted row), so
+  // sequential pivoting reconstructs the basis exactly. A vanishing pivot
+  // means the basis is singular under the new coefficients — fall back.
+  for (int i = 0; i < m_; ++i) {
+    const int col = hint[static_cast<std::size_t>(i)];
+    if (basis_[static_cast<std::size_t>(i)] == col) continue;
+    if (std::abs(tab_(i, col)) <= kEps) return solve(problem);
+    pivot(i, col);
+  }
+  // The restored basis must be primal-feasible for the (possibly drifted)
+  // rhs, and any artificial left basic must sit at ~0; otherwise the warm
+  // start would skip a phase 1 it actually needs.
+  for (int i = 0; i < m_; ++i) {
+    const double v = tab_(i, n_);
+    if (v < 0.0) {
+      if (v < -kEps) return solve(problem);
+      tab_(i, n_) = 0.0;  // clamp fp dust so ratio tests see a clean 0
+    }
+    if (basis_[static_cast<std::size_t>(i)] >= first_artificial_ && v > 1e-7)
+      return solve(problem);
+  }
+  const LpStatus st = phase2(problem.objective);
+  if (st == LpStatus::kOptimal) {
+    basis_cached_ = true;
+    cached_rels_ = problem.rels;
+    cached_rhs_ = problem.rhs;
+  }
   return finish(problem, st);
 }
 

@@ -61,6 +61,14 @@ struct LpProblem {
   /// @pre coeffs_row.size() == num_vars.
   void add_constraint(const std::vector<double>& coeffs_row, Relation rel,
                       double rhs_value);
+
+  /// Widen the problem by `count` variables appended after the existing
+  /// ones: every constraint row gains `count` zero coefficients (fill the
+  /// real values in afterwards via coeffs(r, c)) and the objective is
+  /// extended with zeros. The column-generation master grows this way;
+  /// pair with LpSolver::resolve_with_added_columns for a warm re-solve
+  /// that skips phase 1 entirely.
+  void append_vars(int count);
 };
 
 /// Result of an LP solve. `x` and `objective` are meaningful only when
@@ -111,6 +119,45 @@ class LpSolver {
   ///       optimum face is degenerate).
   [[nodiscard]] LpSolution resolve_objective(const LpProblem& problem);
 
+  /// Warm re-solve after the caller APPENDED variables to the previously
+  /// solved problem (LpProblem::append_vars + coefficient fill). The new
+  /// columns are transformed through the current basis inverse — read off
+  /// the tableau's initially-basic unit columns — and phase 2 resumes from
+  /// the cached optimal basis, so the cost is a handful of pivots instead
+  /// of a full phase-1 rebuild. This is the column-generation master's
+  /// re-solve after each pricing round.
+  ///
+  /// @pre  `problem` is the previously solved problem plus >= 1 appended
+  ///       variables: same rows/rels/rhs, same coefficients for the old
+  ///       variables (unchecked, caller-owned), objective may differ.
+  ///       Shape mismatches fall back to a cold solve().
+  /// @post same as solve().
+  [[nodiscard]] LpSolution resolve_with_added_columns(const LpProblem& problem);
+
+  /// Cold-structure solve that tries to start phase 2 from a caller
+  /// provided basis — typically `basis()` captured from an earlier solve
+  /// of an identically-shaped problem with drifted coefficients (the
+  /// cross-round warm start of the column-generation planner). The hinted
+  /// columns are pivoted in row by row; if any pivot vanishes or the
+  /// restored basis is infeasible for the new coefficients, the solve
+  /// silently falls back to the cold two-phase path, so the result is
+  /// always a true optimum of `problem`.
+  [[nodiscard]] LpSolution solve_with_basis(const LpProblem& problem,
+                                            const std::vector<int>& hint);
+
+  /// Basic column per row of the most recent solve, in solver column
+  /// layout (caller variables first, then slack/artificial). Meaningful
+  /// after a kOptimal solve; feed back into solve_with_basis().
+  [[nodiscard]] const std::vector<int>& basis() const { return basis_; }
+
+  /// Row duals (shadow prices) of the most recent kOptimal solve, in the
+  /// caller's row order and sign convention: for `maximize c.x`, the
+  /// optimal objective is `sum_i duals[i] * rhs[i]` and a unit slackening
+  /// of row i improves the objective by duals[i]. Read off the reduced-
+  /// cost row under each row's initially-basic (slack/artificial) column.
+  /// These drive the column-generation pricing oracle.
+  void duals(std::vector<double>& out) const;
+
  private:
   void load(const LpProblem& p);
   [[nodiscard]] LpSolution finish(const LpProblem& problem, LpStatus st);
@@ -132,6 +179,11 @@ class LpSolver {
                              ///< columns beyond it stay exactly 0
   std::vector<double> obj_;  ///< reduced-cost row, length stride_
   std::vector<int> basis_;   ///< basic variable per row
+  std::vector<int> unit_col_;     ///< initially-basic column per row: the
+                                  ///< slack/artificial whose tableau column
+                                  ///< holds that row of the basis inverse
+  std::vector<double> row_sign_;  ///< +1, or -1 where load() flipped the
+                                  ///< row to normalize a negative rhs
   std::vector<Relation> cached_rels_;  ///< fingerprint for warm-solve guard
   std::vector<double> cached_rhs_;     ///< fingerprint for warm-solve guard
 };

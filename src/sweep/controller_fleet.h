@@ -104,7 +104,12 @@ struct FleetResult {
 /// measured input the model/plan stages need.
 struct ReplayCell {
   std::vector<FlowSpec> flows;  ///< flows to plan (paths over trace links)
-  PlanConfig plan{};            ///< objective / optimizer tuning / headroom
+  /// Objective / optimizer tuning / headroom / plan tier. Setting
+  /// plan.tier = PlanTier::kFast replays this cell through the
+  /// column-generation planner (ARCHITECTURE.md, "Plan tiers"): per-round
+  /// objectives stay within a 1e-6 relative gap of the exact tier, and
+  /// warm state carries across the rounds of a segment.
+  PlanConfig plan{};
   InterferenceModelKind interference = InterferenceModelKind::kTwoHop;
   /// Guarded replay: validate (and repair) every round before planning;
   /// rejected rounds and guardrail-rejected plans yield a default
@@ -132,10 +137,15 @@ struct ReplayOptions {
   /// > 0: shard each cell's trace into contiguous segments of at most this
   /// many rounds, each dispatched as its own pool job, results stitched in
   /// round order. 0 = one job per cell (a long trace with few cells leaves
-  /// workers idle; sharding fills them). Plans are bit-identical either
-  /// way: every round is a pure function of its snapshot, and the planner
-  /// cache never changes outputs — a segment boundary only costs one extra
-  /// cold MIS enumeration.
+  /// workers idle; sharding fills them). Exact-tier plans are
+  /// bit-identical either way: every round is a pure function of its
+  /// snapshot, and the planner cache never changes outputs — a segment
+  /// boundary only costs one extra cold MIS enumeration. FAST-tier plans
+  /// are bit-identical across thread counts and repeated runs for a FIXED
+  /// ReplayOptions, but segment_rounds (and planner_cache) are part of
+  /// the fast tier's determinism key: a segment boundary resets the
+  /// column-generation warm state, which legitimately moves results
+  /// within the tier's gap bound (ARCHITECTURE.md, "Plan tiers").
   int segment_rounds = 0;
   /// Planner model-cache entries per job (0 = uncached reference path).
   std::size_t planner_cache = 8;
@@ -176,8 +186,11 @@ class ControllerFleet {
   /// Each job plans its rounds through a Planner, so constant-topology
   /// stretches of the trace enumerate their MIS rows once and refresh
   /// capacities thereafter; `opts` additionally shards long traces into
-  /// per-segment jobs (see ReplayOptions). Both are pure accelerations:
-  /// plans stay bit-identical to the uncached, unsharded walk.
+  /// per-segment jobs (see ReplayOptions). For exact-tier cells both are
+  /// pure accelerations: plans stay bit-identical to the uncached,
+  /// unsharded walk. Fast-tier cells (ReplayCell::plan.tier) are
+  /// deterministic given (trace, cell, opts) — thread count never matters
+  /// — with opts part of the determinism key (see ReplayOptions).
   ///
   /// @post result.size() == cells.size(); result[i].index == i;
   ///       result[i].plans.size() == trace.size().

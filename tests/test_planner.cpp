@@ -191,6 +191,42 @@ TEST(Planner, CacheAccountingHitsMissesEvictions) {
   EXPECT_EQ(uncached.cached_topologies(), 0u);
 }
 
+TEST(Planner, UncacheableBuildsAreNotCacheMisses) {
+  // Regression: model(cacheable=false) — the repaired-snapshot path —
+  // used to charge a cache miss even though the cache was barred from
+  // storing the entry. Uncacheable builds get their own counter; a miss
+  // means the cache could actually have held the model.
+  Planner planner(4);
+  const MeasurementSnapshot snap = lir_snapshot(10, 3);
+
+  (void)planner.model(snap, InterferenceModelKind::kLirTable, 200000,
+                      /*cacheable=*/false);
+  EXPECT_EQ(planner.stats().uncacheable_plans, 1u);
+  EXPECT_EQ(planner.stats().misses, 0u);
+  EXPECT_EQ(planner.stats().hits, 0u);
+  EXPECT_EQ(planner.cached_topologies(), 0u);  // nothing was stored
+
+  // The first cacheable call is a genuine miss (and stores the entry).
+  (void)planner.model(snap, InterferenceModelKind::kLirTable);
+  EXPECT_EQ(planner.stats().misses, 1u);
+  EXPECT_EQ(planner.cached_topologies(), 1u);
+
+  // With the entry resident, an uncacheable call may still read it: a
+  // hit, and the uncacheable counter does not move.
+  (void)planner.model(snap, InterferenceModelKind::kLirTable, 200000,
+                      /*cacheable=*/false);
+  EXPECT_EQ(planner.stats().hits, 1u);
+  EXPECT_EQ(planner.stats().uncacheable_plans, 1u);
+  EXPECT_EQ(planner.stats().misses, 1u);
+
+  // A cache with zero capacity asked for a cacheable build still charges
+  // a miss — the caller allowed caching, the capacity said no.
+  Planner uncached(0);
+  (void)uncached.model(snap, InterferenceModelKind::kLirTable);
+  EXPECT_EQ(uncached.stats().misses, 1u);
+  EXPECT_EQ(uncached.stats().uncacheable_plans, 0u);
+}
+
 TEST(Planner, CachedModelAndPlanBitIdenticalToUncached) {
   // 12 rounds over two alternating topologies with per-round capacity
   // drift: the cached path must produce bit-identical models and plans to
