@@ -54,6 +54,10 @@
 #define MESHOPT_BENCH_HAS_GUARD 1
 #include "core/guard.h"
 #endif
+#if __has_include("serve/plan_service.h")
+#define MESHOPT_BENCH_HAS_SERVE 1
+#include "serve/plan_service.h"
+#endif
 
 #include "core/controller.h"
 #include "scenario/workbench.h"
@@ -676,6 +680,104 @@ void BM_DynamicsRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DynamicsRound);
+#endif
+
+#ifdef MESHOPT_BENCH_HAS_SERVE
+// Multi-tenant serving throughput. Every tenant is a registered session
+// of one PlanService (own Planner cache, own round sequence); each
+// iteration submits one fresh snapshot per tenant and serves the whole
+// batch across the pool. The snapshot is a 9-link LIR mesh — small
+// enough that service overhead (admission, queues, batching, metrics) is
+// visible over the plan itself, large enough that planning is real work.
+// items/s = plans served per second at Arg(0) tenants; counters report
+// the wall p99 enqueue->plan latency in microseconds. Compare per-plan
+// time against BM_ServeBarePlanner below: the difference is the whole
+// serving layer's per-plan tax (BENCH_core.json pins <= 1.3x).
+MeasurementSnapshot serve_bench_snapshot(int round) {
+  constexpr int kLinks = 9;
+  RngStream top(67, "bench-serve-top");
+  RngStream cap(RngStream::mix(67, static_cast<std::uint64_t>(round)),
+                "bench-serve-cap");
+  MeasurementSnapshot snap;
+  for (int i = 0; i < kLinks; ++i) {
+    SnapshotLink l;
+    l.src = i;
+    l.dst = i + 1;
+    l.rate = Rate::kR11Mbps;
+    l.estimate.capacity_bps = cap.uniform(1.5e6, 5e6);
+    l.estimate.p_link = 0.02;
+    snap.links.push_back(l);
+  }
+  snap.lir.resize(kLinks, kLinks, 1.0);
+  for (int i = 0; i < kLinks; ++i)
+    for (int j = i + 1; j < kLinks; ++j)
+      if (top.bernoulli(0.4)) snap.lir(i, j) = snap.lir(j, i) = 0.4;
+  snap.lir_threshold = 0.95;
+  return snap;
+}
+
+std::vector<FlowSpec> serve_bench_flows() {
+  std::vector<FlowSpec> flows(3);
+  flows[0].flow_id = 0;
+  flows[0].path = {0, 1, 2, 3};
+  flows[1].flow_id = 1;
+  flows[1].path = {3, 4, 5};
+  flows[2].flow_id = 2;
+  flows[2].path = {6, 7, 8};
+  return flows;
+}
+
+void BM_ServeBatch(benchmark::State& state) {
+  const auto tenants = static_cast<std::uint32_t>(state.range(0));
+  const std::vector<MeasurementSnapshot> trace = {serve_bench_snapshot(0),
+                                                  serve_bench_snapshot(1)};
+  ServeConfig cfg;
+  cfg.global_queue_limit = tenants;
+  PlanService svc(cfg);
+  TenantConfig tc;
+  tc.flows = serve_bench_flows();
+  for (std::uint32_t t = 0; t < tenants; ++t) svc.add_tenant(tc);
+
+  std::int64_t plans = 0;
+  long long tick = 0;
+  for (auto _ : state) {
+    const MeasurementSnapshot& snap =
+        trace[static_cast<std::size_t>(tick) % trace.size()];
+    for (std::uint32_t t = 0; t < tenants; ++t) svc.submit(t, snap, tick);
+    const ServeBatchReport batch = svc.run_batch(tick);
+    plans += static_cast<std::int64_t>(batch.served.size());
+    benchmark::DoNotOptimize(batch);
+    ++tick;
+  }
+  state.SetItemsProcessed(plans);
+  state.counters["p99_us"] =
+      1e6 * svc.metrics().wall_latency_s().quantile(0.99);
+}
+BENCHMARK(BM_ServeBatch)->Arg(64)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+// The per-plan cost floor for the comparison above: the same snapshots,
+// flows, and tier through a bare warm Planner — no service, no queues,
+// no metrics. This is exactly the planned-round inner loop a
+// ControllerFleet::replay segment runs per round.
+void BM_ServeBarePlanner(benchmark::State& state) {
+  const std::vector<MeasurementSnapshot> trace = {serve_bench_snapshot(0),
+                                                  serve_bench_snapshot(1)};
+  const std::vector<FlowSpec> flows = serve_bench_flows();
+  const PlanConfig cfg;
+  Planner planner(4);
+  std::int64_t plans = 0;
+  for (auto _ : state) {
+    const MeasurementSnapshot& snap =
+        trace[static_cast<std::size_t>(plans) % trace.size()];
+    const RatePlan plan =
+        planner.plan(snap, InterferenceModelKind::kTwoHop, flows, cfg);
+    benchmark::DoNotOptimize(plan);
+    ++plans;
+  }
+  state.SetItemsProcessed(plans);
+}
+BENCHMARK(BM_ServeBarePlanner);
 #endif
 
 void BM_ChannelLossEstimator(benchmark::State& state) {

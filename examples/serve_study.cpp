@@ -1,0 +1,236 @@
+// Example: multi-tenant plan serving — one PlanService multiplexing
+// thousands of mesh instances over the work-stealing pool.
+//
+//   $ ./example_serve_study [tenants] [rounds] [metrics-json-path]
+//
+// Each tenant is an independent mesh controller client: it registers its
+// flow set, plan tier, and guard mode once, then submits measurement
+// snapshots as rounds of a staggered replay schedule (all randomness
+// drawn at schedule generation, so the run replays bit-identically).
+// Tenants cycle through four profiles:
+//
+//   exact        — exact-tier planning, no guard (the reference client)
+//   fast         — column-generation tier with cross-round warm starts
+//   guarded      — exact tier behind snapshot validation + plan guardrails
+//   fast-fifo    — fast tier with coalescing OFF (a queueing client)
+//
+// Every fourth round of the guarded profile submits a snapshot with a
+// poisoned link, so the repair tier and the uncacheable-plan path see
+// real traffic. The service batches pending rounds across tenants each
+// tick, serves them on the pool, and accounts everything into the
+// metrics plane, which this example prints as a table and (optionally)
+// writes as one JSON document — the same dump a monitoring endpoint
+// would serve.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/rate_plan.h"
+#include "core/snapshot.h"
+#include "serve/plan_service.h"
+#include "util/rng.h"
+
+using namespace meshopt;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20260807;
+
+/// A 9-link LIR mesh snapshot with per-round capacity jitter: big enough
+/// that planning does real work, small enough that thousands of tenants
+/// serve in seconds.
+MeasurementSnapshot mesh_snapshot(int round, bool poisoned) {
+  constexpr int kLinks = 9;
+  MeasurementSnapshot snap;
+  RngStream rng(kSeed, "serve-study-topology");  // topology: round-stable
+  RngStream cap(RngStream::mix(kSeed, static_cast<std::uint64_t>(round)),
+                "serve-study-caps");
+  for (int i = 0; i < kLinks; ++i) {
+    SnapshotLink l;
+    l.src = i;
+    l.dst = i + 1;
+    l.rate = Rate::kR11Mbps;
+    l.estimate.capacity_bps = cap.uniform(1.5e6, 5e6);
+    l.estimate.p_link = 0.02;
+    snap.links.push_back(l);
+  }
+  snap.lir.resize(kLinks, kLinks, 1.0);
+  for (int i = 0; i < kLinks; ++i)
+    for (int j = i + 1; j < kLinks; ++j)
+      if (rng.bernoulli(0.4)) snap.lir(i, j) = snap.lir(j, i) = 0.4;
+  snap.lir_threshold = 0.95;
+  if (poisoned)  // repair tier drops this link (it carries no flow)
+    snap.links.back().estimate.capacity_bps =
+        std::numeric_limits<double>::quiet_NaN();
+  return snap;
+}
+
+std::vector<FlowSpec> mesh_flows() {
+  std::vector<FlowSpec> flows(3);
+  flows[0].flow_id = 0;
+  flows[0].path = {0, 1, 2, 3};
+  flows[1].flow_id = 1;
+  flows[1].path = {3, 4, 5};
+  flows[2].flow_id = 2;
+  flows[2].path = {6, 7, 8};
+  return flows;
+}
+
+const char* kProfiles[] = {"exact", "fast", "guarded", "fast-fifo"};
+
+TenantConfig profile_config(std::uint32_t tenant) {
+  TenantConfig cfg;
+  cfg.flows = mesh_flows();
+  switch (tenant % 4) {
+    case 0:
+      break;  // exact, unguarded, coalescing
+    case 1:
+      cfg.plan.tier = PlanTier::kFast;
+      break;
+    case 2:
+      cfg.guarded = true;
+      break;
+    case 3:
+      cfg.plan.tier = PlanTier::kFast;
+      cfg.coalesce = false;
+      cfg.queue_limit = 2;
+      break;
+  }
+  return cfg;
+}
+
+void print_sketch_row(const char* name, const QuantileSketch& s,
+                      const char* unit) {
+  std::printf("  %-16s %8llu %10.3f %10.3f %10.3f %10.3f %s\n", name,
+              static_cast<unsigned long long>(s.count()), s.quantile(0.50),
+              s.quantile(0.95), s.quantile(0.99), s.max(), unit);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t tenants =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 2000;
+  const int rounds = argc > 2 ? std::atoi(argv[2]) : 3;
+  const char* json_path = argc > 3 ? argv[3] : nullptr;
+
+  // The snapshot pool the schedule references: per-round capacity jitter,
+  // and for each round a poisoned variant the guarded profile draws every
+  // fourth round.
+  std::vector<MeasurementSnapshot> pool;
+  for (int r = 0; r < rounds; ++r) {
+    pool.push_back(mesh_snapshot(r, /*poisoned=*/false));
+    pool.push_back(mesh_snapshot(r, /*poisoned=*/true));
+  }
+
+  PlanService svc;  // default pool: hardware concurrency
+  for (std::uint32_t t = 0; t < tenants; ++t)
+    svc.add_tenant(profile_config(t));
+
+  // Staggered schedule, then steer guarded tenants onto the poisoned pool
+  // entry every fourth round (snapshot_ref r -> pool index 2r [+1]).
+  ServeScript script = staggered_replay_script(
+      tenants, rounds, rounds, /*ticks_per_round=*/4, kSeed,
+      /*burst_every=*/7);
+  for (ServeEvent& ev : script.events) {
+    const bool poison = ev.tenant % 4 == 2 && ev.snapshot_ref % 2 == 1;
+    ev.snapshot_ref = 2 * ev.snapshot_ref + (poison ? 1 : 0);
+  }
+
+  std::printf("serve study: %u tenants x %d rounds, %zu submissions\n\n",
+              tenants, rounds, script.events.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  const ServeReport report = svc.run_script(script, pool);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const ServeCounters& g = svc.metrics().global();
+  std::printf("served %llu plans in %.2f s  (%.0f plans/s, %llu batches, "
+              "max batch %llu)\n\n",
+              static_cast<unsigned long long>(g.totals.plans_served), secs,
+              static_cast<double>(g.totals.plans_served) / secs,
+              static_cast<unsigned long long>(g.batches),
+              static_cast<unsigned long long>(g.max_batch));
+
+  std::printf("admission:\n");
+  std::printf("  submitted %llu  accepted %llu  coalesced %llu  shed "
+              "(tenant %llu, global %llu, stale %llu, unknown %llu)\n\n",
+              static_cast<unsigned long long>(g.totals.submitted),
+              static_cast<unsigned long long>(g.totals.accepted),
+              static_cast<unsigned long long>(g.totals.coalesced),
+              static_cast<unsigned long long>(g.totals.shed_queue_full),
+              static_cast<unsigned long long>(g.totals.shed_global_full),
+              static_cast<unsigned long long>(g.totals.shed_stale_round),
+              static_cast<unsigned long long>(g.shed_unknown_tenant));
+
+  std::printf("guard + planner cache:\n");
+  std::printf("  snapshots clean %llu / repaired %llu / rejected %llu   "
+              "plans ok %llu / failed %llu\n",
+              static_cast<unsigned long long>(g.totals.snapshots_clean),
+              static_cast<unsigned long long>(g.totals.snapshots_repaired),
+              static_cast<unsigned long long>(g.totals.snapshots_rejected),
+              static_cast<unsigned long long>(g.totals.plans_served),
+              static_cast<unsigned long long>(g.totals.plans_failed));
+  std::printf("  cache hits %llu / misses %llu / uncacheable %llu\n\n",
+              static_cast<unsigned long long>(g.totals.cache_hits),
+              static_cast<unsigned long long>(g.totals.cache_misses),
+              static_cast<unsigned long long>(g.totals.uncacheable_plans));
+
+  std::printf("latency (enqueue -> served):\n");
+  std::printf("  %-16s %8s %10s %10s %10s %10s\n", "histogram", "count",
+              "p50", "p95", "p99", "max");
+  print_sketch_row("ticks", svc.metrics().tick_latency(), "ticks");
+  {
+    // Wall latency in milliseconds for readability.
+    const QuantileSketch& w = svc.metrics().wall_latency_s();
+    std::printf("  %-16s %8llu %10.3f %10.3f %10.3f %10.3f ms\n", "wall",
+                static_cast<unsigned long long>(w.count()),
+                1e3 * w.quantile(0.50), 1e3 * w.quantile(0.95),
+                1e3 * w.quantile(0.99), 1e3 * w.max());
+  }
+
+  // Per-profile rollup: merge the per-tenant counters of each profile.
+  std::printf("\nper-profile (tenants cycle through %zu profiles):\n",
+              std::size(kProfiles));
+  std::printf("  %-10s %9s %9s %9s %9s %9s\n", "profile", "served",
+              "failed", "coalesced", "shed", "cache-hit");
+  for (std::uint32_t p = 0; p < std::size(kProfiles); ++p) {
+    TenantCounters acc;
+    for (std::uint32_t t = p; t < tenants; t += 4) {
+      const TenantCounters& c = svc.metrics().tenant(t);
+      acc.plans_served += c.plans_served;
+      acc.plans_failed += c.plans_failed;
+      acc.coalesced += c.coalesced;
+      acc.shed_queue_full += c.shed_queue_full + c.shed_global_full +
+                             c.shed_stale_round;
+      acc.cache_hits += c.cache_hits;
+    }
+    std::printf("  %-10s %9llu %9llu %9llu %9llu %9llu\n", kProfiles[p],
+                static_cast<unsigned long long>(acc.plans_served),
+                static_cast<unsigned long long>(acc.plans_failed),
+                static_cast<unsigned long long>(acc.coalesced),
+                static_cast<unsigned long long>(acc.shed_queue_full),
+                static_cast<unsigned long long>(acc.cache_hits));
+  }
+
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    out << svc.metrics_json();
+    std::printf("\nmetrics JSON written to %s\n", json_path);
+  }
+
+  // Sanity for scripted use: the study must actually have served every
+  // accepted round.
+  if (report.served.size() != g.totals.accepted - g.totals.coalesced) {
+    std::fprintf(stderr, "serve study: served/accepted mismatch\n");
+    return 1;
+  }
+  return 0;
+}

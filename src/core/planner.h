@@ -106,6 +106,18 @@ class Planner {
                               bool cacheable = true);
 
   [[nodiscard]] const PlannerStats& stats() const { return stats_; }
+
+  /// Value copy of the counters, taken between plan() calls — the
+  /// serving layer's per-interval metrics windows diff two snapshots (or
+  /// snapshot + reset) without disturbing the counters themselves.
+  /// Planner is single-owner (no concurrent calls), so a snapshot is
+  /// atomic by construction: it can never observe a half-updated round.
+  [[nodiscard]] PlannerStats stats_snapshot() const { return stats_; }
+
+  /// Zero the counters WITHOUT touching the cache: resident topologies,
+  /// LRU order, and fast-tier warm state all survive, so resetting a
+  /// metrics window never costs a re-enumeration (unlike clear()).
+  void reset_stats() { stats_ = PlannerStats{}; }
   /// Entries currently resident (<= capacity()).
   [[nodiscard]] std::size_t cached_topologies() const {
     return entries_.size();

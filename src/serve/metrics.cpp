@@ -1,0 +1,119 @@
+#include "serve/metrics.h"
+
+#include "util/json.h"
+
+namespace meshopt {
+
+namespace {
+
+/// Tick latencies are small non-negative integers: bins span [0.5, 1e6)
+/// ticks (a zero-tick service lands in the underflow bin, reported as the
+/// observed minimum). Wall latencies span 100 ns .. ~1 day in seconds.
+QuantileSketch tick_sketch() { return QuantileSketch(0.5, 1e6, 8); }
+QuantileSketch wall_sketch() { return QuantileSketch(1e-7, 1e5, 8); }
+
+void append_counter(std::string& out, const char* key, std::uint64_t v) {
+  json_append_string(out, key);
+  out.push_back(':');
+  json_append_int(out, static_cast<long long>(v));
+  out.push_back(',');
+}
+
+void append_tenant_counters(std::string& out, const TenantCounters& c) {
+  append_counter(out, "submitted", c.submitted);
+  append_counter(out, "accepted", c.accepted);
+  append_counter(out, "coalesced", c.coalesced);
+  append_counter(out, "shed_queue_full", c.shed_queue_full);
+  append_counter(out, "shed_global_full", c.shed_global_full);
+  append_counter(out, "shed_stale_round", c.shed_stale_round);
+  append_counter(out, "plans_served", c.plans_served);
+  append_counter(out, "plans_failed", c.plans_failed);
+  append_counter(out, "snapshots_clean", c.snapshots_clean);
+  append_counter(out, "snapshots_repaired", c.snapshots_repaired);
+  append_counter(out, "snapshots_rejected", c.snapshots_rejected);
+  append_counter(out, "cache_hits", c.cache_hits);
+  append_counter(out, "cache_misses", c.cache_misses);
+  append_counter(out, "uncacheable_plans", c.uncacheable_plans);
+}
+
+void append_sketch(std::string& out, const char* key,
+                   const QuantileSketch& s) {
+  json_append_string(out, key);
+  out += ":{";
+  append_counter(out, "count", s.count());
+  json_append_string(out, "p50");
+  out.push_back(':');
+  json_append_double(out, s.quantile(0.50));
+  out.push_back(',');
+  json_append_string(out, "p95");
+  out.push_back(':');
+  json_append_double(out, s.quantile(0.95));
+  out.push_back(',');
+  json_append_string(out, "p99");
+  out.push_back(':');
+  json_append_double(out, s.quantile(0.99));
+  out.push_back(',');
+  json_append_string(out, "min");
+  out.push_back(':');
+  json_append_double(out, s.min());
+  out.push_back(',');
+  json_append_string(out, "mean");
+  out.push_back(':');
+  json_append_double(out, s.mean());
+  out.push_back(',');
+  json_append_string(out, "max");
+  out.push_back(':');
+  json_append_double(out, s.max());
+  out.push_back('}');
+}
+
+}  // namespace
+
+ServeMetrics::ServeMetrics()
+    : tick_latency_(tick_sketch()), wall_latency_s_(wall_sketch()) {}
+
+void ServeMetrics::ensure_tenants(std::size_t count) {
+  while (tenant_.size() < count) {
+    tenant_.emplace_back();
+    tenant_tick_latency_.push_back(tick_sketch());
+  }
+}
+
+void ServeMetrics::record_tick_latency(std::size_t tenant_id, double ticks) {
+  tick_latency_.add(ticks);
+  tenant_tick_latency_[tenant_id].add(ticks);
+}
+
+std::string ServeMetrics::to_json(bool include_wall) const {
+  std::string out = "{";
+  json_append_string(out, "global");
+  out += ":{";
+  append_tenant_counters(out, global_.totals);
+  append_counter(out, "shed_unknown_tenant", global_.shed_unknown_tenant);
+  append_counter(out, "batches", global_.batches);
+  append_counter(out, "batch_requests", global_.batch_requests);
+  append_counter(out, "max_batch", global_.max_batch);
+  append_sketch(out, "tick_latency", tick_latency_);
+  if (include_wall) {
+    out.push_back(',');
+    append_sketch(out, "wall_latency_s", wall_latency_s_);
+  }
+  out += "},";
+  json_append_string(out, "tenants");
+  out += ":[";
+  for (std::size_t t = 0; t < tenant_.size(); ++t) {
+    if (t > 0) out.push_back(',');
+    out.push_back('{');
+    json_append_string(out, "tenant");
+    out.push_back(':');
+    json_append_int(out, static_cast<long long>(t));
+    out.push_back(',');
+    append_tenant_counters(out, tenant_[t]);
+    append_sketch(out, "tick_latency", tenant_tick_latency_[t]);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace meshopt

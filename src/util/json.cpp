@@ -265,6 +265,9 @@ class JsonParser {
 
   JsonValue number() {
     const std::size_t start = pos_;
+    // strtod would accept a leading '+' (and locale oddities); JSON does
+    // not, so reject it before the scan.
+    if (peek() == '+') fail("malformed number");
     if (peek() == '-') ++pos_;
     while (pos_ < text_.size()) {
       const char c = text_[pos_];

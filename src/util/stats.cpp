@@ -91,6 +91,128 @@ std::vector<std::pair<double, double>> Cdf::curve(int points) const {
   return out;
 }
 
+QuantileSketch::QuantileSketch(double min_value, double max_value,
+                               int bins_per_octave, std::size_t exact_limit)
+    : min_value_(min_value),
+      max_value_(max_value),
+      bins_per_octave_(bins_per_octave),
+      exact_limit_(exact_limit) {
+  if (!(min_value > 0.0) || !(max_value > min_value) || bins_per_octave < 1)
+    throw std::invalid_argument("QuantileSketch: bad binning configuration");
+  const double octaves = std::log2(max_value_ / min_value_);
+  interior_bins_ = static_cast<std::size_t>(
+                       std::ceil(octaves * static_cast<double>(bins_per_octave_))) +
+                   1;
+  exact_.reserve(exact_limit_);
+}
+
+std::size_t QuantileSketch::bin_index(double x) const {
+  // Layout: [0] underflow | [1 .. interior_bins_] geometric | [last] overflow.
+  if (!(x >= min_value_)) return 0;
+  if (x >= max_value_) return interior_bins_ + 1;
+  const double pos =
+      std::log2(x / min_value_) * static_cast<double>(bins_per_octave_);
+  std::size_t i = static_cast<std::size_t>(pos) + 1;
+  if (i > interior_bins_) i = interior_bins_;
+  return i;
+}
+
+double QuantileSketch::bin_value(std::size_t i) const {
+  if (i == 0) return min_value_;
+  if (i >= interior_bins_ + 1) return max_value_;
+  // Geometric midpoint of bin i's [lo, lo * 2^(1/bpo)) value range.
+  const double exponent = (static_cast<double>(i - 1) + 0.5) /
+                          static_cast<double>(bins_per_octave_);
+  return min_value_ * std::exp2(exponent);
+}
+
+void QuantileSketch::spill() {
+  bins_.assign(interior_bins_ + 2, 0);
+  for (const double v : exact_) ++bins_[bin_index(v)];
+  exact_.clear();
+  exact_.shrink_to_fit();
+}
+
+void QuantileSketch::add(double x) {
+  if (std::isnan(x)) return;
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  if (exact()) {
+    if (exact_.size() < exact_limit_) {
+      exact_.push_back(x);
+      return;
+    }
+    spill();
+  }
+  ++bins_[bin_index(x)];
+}
+
+void QuantileSketch::merge(const QuantileSketch& o) {
+  if (min_value_ != o.min_value_ || max_value_ != o.max_value_ ||
+      bins_per_octave_ != o.bins_per_octave_)
+    throw std::invalid_argument("QuantileSketch: merge config mismatch");
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = o.min_;
+    max_ = o.max_;
+  } else {
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+  n_ += o.n_;
+  sum_ += o.sum_;
+  // Stay exact only while the combined payload fits the limit; otherwise
+  // spill and add bin counts (o's exact payload rebins sample by sample —
+  // identical to having added those samples here directly).
+  if (exact() && o.exact() && exact_.size() + o.exact_.size() <= exact_limit_) {
+    exact_.insert(exact_.end(), o.exact_.begin(), o.exact_.end());
+    return;
+  }
+  if (exact()) spill();
+  if (o.exact()) {
+    for (const double v : o.exact_) ++bins_[bin_index(v)];
+  } else {
+    for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += o.bins_[i];
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (n_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (exact()) {
+    // Interpolated order statistics, exactly as Cdf::quantile.
+    std::sort(exact_.begin(), exact_.end());
+    const double pos = q * static_cast<double>(exact_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, exact_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return exact_[lo] * (1.0 - frac) + exact_[hi] * frac;
+  }
+  // Walk bins to the bin holding rank ceil(q * (n-1)) (0-based).
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(n_ - 1) + 0.5);
+  std::uint64_t seen = 0;
+  double v = max_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    seen += bins_[i];
+    if (seen > rank) {
+      // The edge bins have no geometric midpoint of their own: report the
+      // observed extreme (an out-of-range sample is still a real sample).
+      if (i == 0) return min_;
+      if (i + 1 == bins_.size()) return max_;
+      v = bin_value(i);
+      break;
+    }
+  }
+  return std::clamp(v, min_, max_);
+}
+
 double rmse(std::span<const double> a, std::span<const double> b) {
   if (a.size() != b.size()) throw std::invalid_argument("rmse: size mismatch");
   if (a.empty()) return 0.0;

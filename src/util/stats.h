@@ -1,8 +1,10 @@
 #pragma once
 // Statistics helpers used throughout the benchmarks and estimators:
-// running moments, empirical CDFs, RMSE, and Jain's fairness index.
+// running moments, empirical CDFs, streaming quantiles, RMSE, and Jain's
+// fairness index.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -58,6 +60,81 @@ class Cdf {
   void ensure_sorted() const;
   mutable std::vector<double> sorted_;
   mutable bool dirty_ = false;
+};
+
+/// Streaming quantile estimator: exact up to a small-N limit, then a
+/// fixed-bin log histogram.
+///
+/// Built for the serving-plane latency metrics (serve/metrics.h) but
+/// generally reusable: O(1) add, O(bins) quantile, exact merge. The two
+/// phases:
+///   * exact — the first `exact_limit` samples are stored verbatim, and
+///     quantile() interpolates order statistics exactly like Cdf (small
+///     tenants never pay any approximation),
+///   * binned — past the limit the samples spill into geometric bins of
+///     width 2^(1/bins_per_octave) between min_value and max_value
+///     (values below/above land in underflow/overflow bins), bounding the
+///     relative quantile error by about half a bin width (~4.4% at the
+///     default 8 bins per octave) with a few hundred uint64 counters.
+///
+/// Determinism: quantiles are a pure function of the inserted multiset —
+/// insertion order never matters (exact mode sorts; bins commute) — so
+/// sketches filled in deterministic batch order report bit-identical
+/// quantiles whatever thread count produced the samples. merge() is exact
+/// in every phase combination: the merged sketch equals one sketch fed
+/// both sample streams.
+class QuantileSketch {
+ public:
+  /// @pre 0 < min_value < max_value, bins_per_octave >= 1.
+  /// @throws std::invalid_argument on a bad configuration.
+  explicit QuantileSketch(double min_value = 1e-7, double max_value = 1e5,
+                          int bins_per_octave = 8,
+                          std::size_t exact_limit = 64);
+
+  /// Record one sample. NaN is ignored (a poisoned latency measurement
+  /// must not poison the histogram); +/-inf clamp to the overflow /
+  /// underflow bin.
+  void add(double x);
+
+  /// Fold another sketch in. Equivalent to adding the other's samples one
+  /// by one (exactly — both exact-mode payloads concatenate; bin counts
+  /// add). @throws std::invalid_argument when the binning configurations
+  /// differ (their quantile spaces are incompatible).
+  void merge(const QuantileSketch& o);
+
+  /// q-quantile (q clamped into [0,1]). Exact-mode: interpolated order
+  /// statistics (matches Cdf::quantile). Binned: the geometric midpoint
+  /// of the bin holding the target rank, clamped into [min(), max()].
+  /// Returns 0 for an empty sketch. Monotone non-decreasing in q.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return n_ > 0 ? sum_ / static_cast<double>(n_) : 0.0;
+  }
+  /// True while every sample is stored verbatim (quantiles are exact).
+  [[nodiscard]] bool exact() const { return bins_.empty(); }
+
+ private:
+  [[nodiscard]] std::size_t bin_index(double x) const;
+  [[nodiscard]] double bin_value(std::size_t i) const;
+  void spill();
+
+  double min_value_;
+  double max_value_;
+  int bins_per_octave_;
+  std::size_t exact_limit_;
+  std::size_t interior_bins_;  ///< bins between the under/overflow bins
+
+  std::size_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  mutable std::vector<double> exact_;  ///< exact-mode payload (sorted lazily)
+  std::vector<std::uint64_t> bins_;    ///< empty until the first spill
 };
 
 /// Root mean square error between two equally sized vectors.

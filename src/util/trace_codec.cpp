@@ -197,6 +197,15 @@ void trace_append_record(std::string& out, const MeasurementSnapshot& snap) {
   out[len_at + 3] = static_cast<char>((payload >> 24) & 0xff);
 }
 
+void trace_append_snapshot_payload(std::string& out,
+                                   const MeasurementSnapshot& snap) {
+  encode_snapshot(out, snap);
+}
+
+MeasurementSnapshot decode_snapshot_payload(std::string_view payload) {
+  return decode_snapshot(payload.data(), payload.size());
+}
+
 std::string trace_header() {
   std::string out;
   out.append(kMagic, sizeof(kMagic));

@@ -65,6 +65,19 @@ enum class OnCorruptRecord : std::uint8_t {
 /// Append one length-prefixed snapshot record to `out` (no file header).
 void trace_append_record(std::string& out, const MeasurementSnapshot& snap);
 
+/// Append one snapshot's bare record payload (no length prefix, no
+/// header) — the MOTRACE1 snapshot encoding reused as a wire-format body
+/// by the serving plane (serve/wire.h).
+void trace_append_snapshot_payload(std::string& out,
+                                   const MeasurementSnapshot& snap);
+
+/// Decode one bare record payload produced by trace_append_snapshot_payload
+/// (or framed by trace_append_record, minus its length prefix).
+/// @throws std::invalid_argument on a truncated or malformed payload —
+/// identical validation to the trace reader's per-record decode.
+[[nodiscard]] MeasurementSnapshot decode_snapshot_payload(
+    std::string_view payload);
+
 /// The 16-byte trace file header.
 [[nodiscard]] std::string trace_header();
 

@@ -1,0 +1,146 @@
+// util/json error-path coverage: the parser backs both wire formats'
+// text side (snapshot JSON submits, plan responses, metrics dumps), so a
+// malformed document must fail with the documented std::invalid_argument
+// — never UB, stack overflow, or silent acceptance. Happy paths are
+// covered incidentally all over the suite; this file pins the edges:
+// truncation, unterminated strings, the recursion depth bound, trailing
+// garbage, malformed numbers/literals/escapes, accessor type errors, and
+// the writer's non-finite-double policy.
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace meshopt {
+namespace {
+
+// ------------------------------------------------------------- truncation
+
+TEST(JsonErrors, TruncatedDocumentsThrow) {
+  for (const char* text : {"", "   ", "{", "[", "[1,", "[1", "{\"a\"",
+                           "{\"a\":", "{\"a\":1", "{\"a\":1,", "tru", "-"}) {
+    EXPECT_THROW((void)JsonValue::parse(text), std::invalid_argument)
+        << "accepted truncated document: " << text;
+  }
+}
+
+TEST(JsonErrors, UnterminatedStringsThrow) {
+  for (const char* text : {"\"abc", "\"abc\\", "\"abc\\u12", "{\"key",
+                           "[\"a\", \"b"}) {
+    EXPECT_THROW((void)JsonValue::parse(text), std::invalid_argument)
+        << "accepted unterminated string: " << text;
+  }
+}
+
+// ------------------------------------------------------------ depth bound
+
+/// Depth kMaxDepth (64) parses; beyond it the parser must fail with the
+/// exception, not recurse toward a stack overflow.
+TEST(JsonErrors, NestingDepthIsBounded) {
+  auto nested = [](int depth) {
+    std::string text(static_cast<std::size_t>(depth), '[');
+    text.append(static_cast<std::size_t>(depth), ']');
+    return text;
+  };
+  EXPECT_NO_THROW((void)JsonValue::parse(nested(64)));
+  EXPECT_THROW((void)JsonValue::parse(nested(65)), std::invalid_argument);
+  // Far past the bound: still the exception, still no overflow.
+  EXPECT_THROW((void)JsonValue::parse(nested(100000)),
+               std::invalid_argument);
+  // Mixed object/array nesting counts against the same budget.
+  std::string mixed;
+  for (int i = 0; i < 40; ++i) mixed += "{\"k\":[";
+  EXPECT_THROW((void)JsonValue::parse(mixed), std::invalid_argument);
+}
+
+// ------------------------------------------------------- trailing garbage
+
+TEST(JsonErrors, TrailingGarbageThrows) {
+  for (const char* text : {"1 2", "{} {}", "[1] x", "null,", "\"a\"\"b\"",
+                           "true false"}) {
+    EXPECT_THROW((void)JsonValue::parse(text), std::invalid_argument)
+        << "accepted trailing garbage: " << text;
+  }
+  // Trailing whitespace is NOT garbage.
+  EXPECT_NO_THROW((void)JsonValue::parse(" [1, 2] \n\t"));
+}
+
+// ------------------------------------------- malformed tokens and escapes
+
+TEST(JsonErrors, MalformedNumbersAndLiteralsThrow) {
+  for (const char* text : {"1.2.3", "1e", "--1", "+1", "nul", "truE",
+                           "falsehood", "None", "0x10", "1e+309junk"}) {
+    EXPECT_THROW((void)JsonValue::parse(text), std::invalid_argument)
+        << "accepted malformed token: " << text;
+  }
+}
+
+TEST(JsonErrors, BadEscapesThrow) {
+  for (const char* text : {"\"\\q\"", "\"\\u12g4\"", "\"\\u12\"",
+                           "\"\\ud800\""}) {
+    EXPECT_THROW((void)JsonValue::parse(text), std::invalid_argument)
+        << "accepted bad escape: " << text;
+  }
+  // The supported escapes round-trip through the writer.
+  std::string out;
+  json_append_string(out, "a\"b\\c\nd\te\x01");
+  const JsonValue v = JsonValue::parse(out);
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\te\x01");
+}
+
+// -------------------------------------------------------------- accessors
+
+TEST(JsonErrors, AccessorTypeMismatchesThrow) {
+  const JsonValue doc = JsonValue::parse("{\"n\":1,\"s\":\"x\",\"a\":[]}");
+  EXPECT_THROW((void)doc.at("n").as_bool(), std::invalid_argument);
+  EXPECT_THROW((void)doc.at("n").as_string(), std::invalid_argument);
+  EXPECT_THROW((void)doc.at("s").as_number(), std::invalid_argument);
+  EXPECT_THROW((void)doc.at("n").items(), std::invalid_argument);
+  EXPECT_THROW((void)doc.at("a").members(), std::invalid_argument);
+  EXPECT_THROW((void)doc.at("missing"), std::invalid_argument);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.at("n").find("anything"), nullptr);  // non-object find
+  // as_int bounds: truncation in range, exception out of range.
+  EXPECT_EQ(JsonValue::parse("2147483647.9").as_int(), 2147483647);
+  EXPECT_THROW((void)JsonValue::parse("2147483648").as_int(),
+               std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("-2147483649").as_int(),
+               std::invalid_argument);
+  EXPECT_THROW((void)JsonValue::parse("1e300").as_int(),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- non-finite
+
+/// JSON has no inf/nan: the writer's documented policy is to emit null.
+/// The round trip therefore yields a null value, which then fails number
+/// accessors loudly instead of smuggling a poisoned double through.
+TEST(JsonErrors, NonFiniteDoublesWriteAsNull) {
+  for (const double v : {std::numeric_limits<double>::infinity(),
+                         -std::numeric_limits<double>::infinity(),
+                         std::numeric_limits<double>::quiet_NaN()}) {
+    std::string out;
+    json_append_double(out, v);
+    EXPECT_EQ(out, "null");
+    EXPECT_TRUE(JsonValue::parse(out).is_null());
+    EXPECT_THROW((void)JsonValue::parse(out).as_number(),
+                 std::invalid_argument);
+  }
+  // Finite extremes still round-trip bit-exactly at %.17g.
+  for (const double v : {std::numeric_limits<double>::max(),
+                         std::numeric_limits<double>::denorm_min(), -0.0,
+                         0.1 + 0.2}) {
+    std::string out;
+    json_append_double(out, v);
+    const double back = JsonValue::parse(out).as_number();
+    EXPECT_EQ(std::signbit(back), std::signbit(v));
+    EXPECT_EQ(back, v);
+  }
+}
+
+}  // namespace
+}  // namespace meshopt

@@ -426,5 +426,41 @@ TEST(Planner, RegionReusesModelExtremePoints) {
   EXPECT_TRUE(region.contains(load));
 }
 
+TEST(Planner, StatsSnapshotIsPureAndResetKeepsCacheResident) {
+  const MeasurementSnapshot snap = lir_snapshot(12, 47);
+  Planner planner(2);
+
+  // Snapshotting must never disturb the counters (the serving layer diffs
+  // two snapshots per metrics window, so a mutating read would corrupt
+  // every window after the first).
+  (void)planner.model(snap, InterferenceModelKind::kLirTable);
+  (void)planner.model(snap, InterferenceModelKind::kLirTable);
+  const PlannerStats before = planner.stats_snapshot();
+  EXPECT_EQ(before.misses, 1u);
+  EXPECT_EQ(before.hits, 1u);
+  for (int i = 0; i < 3; ++i) {
+    const PlannerStats again = planner.stats_snapshot();
+    EXPECT_EQ(again.hits, before.hits);
+    EXPECT_EQ(again.misses, before.misses);
+    EXPECT_EQ(again.evictions, before.evictions);
+    EXPECT_EQ(again.uncacheable_plans, before.uncacheable_plans);
+  }
+  // The snapshot is a value copy: further planner work moves the live
+  // counters, not the copy.
+  (void)planner.model(snap, InterferenceModelKind::kLirTable);
+  EXPECT_EQ(planner.stats().hits, 2u);
+  EXPECT_EQ(before.hits, 1u);
+
+  // reset_stats zeroes the window but — unlike clear() — keeps the cache
+  // resident: the next same-topology call is a HIT, not a re-enumeration.
+  planner.reset_stats();
+  EXPECT_EQ(planner.stats().hits, 0u);
+  EXPECT_EQ(planner.stats().misses, 0u);
+  EXPECT_EQ(planner.cached_topologies(), 1u);
+  (void)planner.model(snap, InterferenceModelKind::kLirTable);
+  EXPECT_EQ(planner.stats().hits, 1u);
+  EXPECT_EQ(planner.stats().misses, 0u);
+}
+
 }  // namespace
 }  // namespace meshopt

@@ -166,5 +166,126 @@ TEST(RngTest, ExponentialMean) {
   EXPECT_NEAR(acc / 5000.0, 2.0, 0.12);
 }
 
+// QuantileSketch (the serving plane's latency histogram): exact while
+// small, bounded-error log bins at volume, exact merges, order-blind.
+
+TEST(QuantileSketchTest, ExactModeMatchesCdf) {
+  QuantileSketch s;
+  Cdf cdf;
+  RngStream r(23, "sketch-exact");
+  for (int i = 0; i < 50; ++i) {  // below the default exact limit of 64
+    const double x = r.uniform(0.1, 100.0);
+    s.add(x);
+    cdf.add(x);
+  }
+  ASSERT_TRUE(s.exact());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(s.quantile(q), cdf.quantile(q)) << "q=" << q;
+  EXPECT_DOUBLE_EQ(s.min(), cdf.quantile(0.0));
+  EXPECT_DOUBLE_EQ(s.max(), cdf.quantile(1.0));
+}
+
+TEST(QuantileSketchTest, EmptyAndEdgeBehavior) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  s.add(std::nan(""));  // ignored, not poisoning
+  EXPECT_EQ(s.count(), 0u);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(-1.0), 3.0);  // q clamps into [0,1]
+  EXPECT_DOUBLE_EQ(s.quantile(2.0), 3.0);
+  EXPECT_THROW(QuantileSketch(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(1.0, 2.0, 0), std::invalid_argument);
+}
+
+TEST(QuantileSketchTest, BinnedQuantilesMonotoneAndBounded) {
+  QuantileSketch s(1e-3, 1e4, 8, /*exact_limit=*/16);
+  Cdf cdf;
+  RngStream r(29, "sketch-binned");
+  for (int i = 0; i < 5000; ++i) {
+    const double x = std::exp(r.uniform(std::log(1e-2), std::log(1e3)));
+    s.add(x);
+    cdf.add(x);
+  }
+  ASSERT_FALSE(s.exact());
+  double prev = 0.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double q = i / 100.0;
+    const double v = s.quantile(q);
+    EXPECT_GE(v, prev) << "quantiles must be monotone in q";
+    prev = v;
+    // Half-bin relative error bound: 2^(1/16)-1 ~ 4.4%, with slack for
+    // interpolation differences against the exact CDF at rank edges.
+    if (q >= 0.05 && q <= 0.95)
+      EXPECT_NEAR(v, cdf.quantile(q), 0.1 * cdf.quantile(q)) << "q=" << q;
+  }
+  EXPECT_GE(s.quantile(0.0), s.min());
+  EXPECT_LE(s.quantile(1.0), s.max());
+}
+
+TEST(QuantileSketchTest, OutOfRangeSamplesClampIntoEdgeBins) {
+  QuantileSketch s(1.0, 100.0, 4, /*exact_limit=*/0);
+  s.add(1e-9);  // underflow bin, reported no lower than observed min
+  s.add(1e9);   // overflow bin, reported no higher than observed max
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1e9);
+}
+
+TEST(QuantileSketchTest, MergeEqualsConcatenationInEveryPhase) {
+  RngStream r(31, "sketch-merge");
+  std::vector<double> a, b;
+  for (int i = 0; i < 40; ++i) a.push_back(r.uniform(0.5, 50.0));
+  for (int i = 0; i < 200; ++i) b.push_back(r.uniform(0.5, 50.0));
+
+  // exact+exact (stays exact), exact+binned, binned+exact, binned+binned.
+  const std::size_t limits[][2] = {{64, 64}, {64, 16}, {16, 64}, {16, 16}};
+  for (const auto& lim : limits) {
+    QuantileSketch lhs(1e-3, 1e4, 8, lim[0]);
+    QuantileSketch rhs(1e-3, 1e4, 8, lim[1]);
+    QuantileSketch ref(1e-3, 1e4, 8, std::min(lim[0], lim[1]));
+    for (double x : a) lhs.add(x);
+    for (double x : b) rhs.add(x);
+    for (double x : a) ref.add(x);
+    for (double x : b) ref.add(x);
+    lhs.merge(rhs);
+    EXPECT_EQ(lhs.count(), a.size() + b.size());
+    EXPECT_DOUBLE_EQ(lhs.min(), ref.min());
+    EXPECT_DOUBLE_EQ(lhs.max(), ref.max());
+    EXPECT_DOUBLE_EQ(lhs.sum(), ref.sum());
+    if (lhs.exact() && ref.exact())
+      for (double q : {0.05, 0.5, 0.95})
+        EXPECT_DOUBLE_EQ(lhs.quantile(q), ref.quantile(q));
+    else if (!lhs.exact() && !ref.exact())
+      for (double q : {0.05, 0.5, 0.95})
+        EXPECT_NEAR(lhs.quantile(q), ref.quantile(q),
+                    0.1 * ref.quantile(q) + 1e-12);
+  }
+}
+
+TEST(QuantileSketchTest, MergeRejectsConfigMismatch) {
+  QuantileSketch a(1e-3, 1e3, 8);
+  QuantileSketch b(1e-3, 1e3, 4);
+  QuantileSketch c(1e-2, 1e3, 8);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(QuantileSketchTest, OrderIndependent) {
+  RngStream r(37, "sketch-order");
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(r.uniform(1e-2, 1e2));
+  QuantileSketch fwd(1e-3, 1e3, 8, 16), rev(1e-3, 1e3, 8, 16);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    fwd.add(xs[i]);
+    rev.add(xs[xs.size() - 1 - i]);
+  }
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99})
+    EXPECT_DOUBLE_EQ(fwd.quantile(q), rev.quantile(q));
+}
+
 }  // namespace
 }  // namespace meshopt
