@@ -58,6 +58,10 @@
 #define MESHOPT_BENCH_HAS_SERVE 1
 #include "serve/plan_service.h"
 #endif
+#if __has_include("opt/decompose.h")
+#define MESHOPT_BENCH_HAS_DECOMPOSE 1
+#include "opt/decompose.h"
+#endif
 
 #include "core/controller.h"
 #include "scenario/workbench.h"
@@ -645,6 +649,68 @@ void BM_ReplayColumnGen(benchmark::State& state) {
   state.counters["K"] = extreme_points;
 }
 BENCHMARK(BM_ReplayColumnGen)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+#endif
+
+#if defined(MESHOPT_BENCH_HAS_DECOMPOSE) && \
+    defined(MESHOPT_BENCH_HAS_FLEET) && defined(MESHOPT_BENCH_HAS_DYNAMICS)
+// City-scale replay through the fleet: a 203-link city (4 gateway-cluster
+// cliques of 50 + 3 RF-silent bridges, 7 conflict components), planned
+// max-throughput on the fast tier over a 3-round trace — an initial model
+// key, a capacity-drift round (warm), and one cluster's LIR churn (re-key).
+// Arg(0) replays monolithically: column generation prices against the full
+// 203-link conflict graph and every churn re-keys the whole model (~13 s a
+// cold round on the reference host; the proportional-fair tier does not
+// even converge monolithically at this scale). Arg(1) replays through
+// DecomposedPlanner: each solve works on a 50-link block and churn re-keys
+// only the churned cluster's slot. items/s = planned rounds per second;
+// the Arg(1)/Arg(0) ratio is the decomposition speedup pinned in
+// BENCH_core.json (>= 5x), bought at a <= 1e-9 relative objective gap on
+// separable instances (tests/test_decompose.cpp, which also pins
+// bit-identical plans across pool thread counts). CI smoke runs only the
+// Arg(1) cell — the monolithic baseline is minutes, the decomposed cell
+// milliseconds; that asymmetry is the result.
+void BM_ReplayDecomposed(benchmark::State& state) {
+  const bool decompose = state.range(0) != 0;
+  CityParams p;
+  p.links_per_cluster = 50;  // 4 x 50 + 3 bridges = 203 links
+  std::vector<MeasurementSnapshot> trace;
+  for (int r = 0; r < 3; ++r) {
+    MeasurementSnapshot snap = build_city_snapshot(p);
+    for (SnapshotLink& l : snap.links)
+      l.estimate.capacity_bps *= 1.0 + 0.01 * r;
+    trace.push_back(std::move(snap));
+  }
+  // Localized churn on the last round: cluster 0's LIR values move
+  // (conflicts persist, so the component partition is stable).
+  for (int i : city_cluster_links(p, 0))
+    for (int j : city_cluster_links(p, 0))
+      if (i != j) trace.back().lir(i, j) = p.conflict_lir - 0.02;
+
+  ReplayCell cell;
+  cell.flows = city_flows(p);
+  cell.plan.optimizer.objective = Objective::kMaxThroughput;
+  cell.plan.tier = PlanTier::kFast;
+  cell.interference = InterferenceModelKind::kLirTable;
+
+  ReplayOptions opts;
+  opts.decompose = decompose;
+  opts.mis_cap = 4000;  // shared cap: both cells enumerate bounded rows
+  opts.segment_rounds = 3;  // one warm segment per replay
+
+  ControllerFleet fleet(1);
+  std::int64_t planned = 0;
+  for (auto _ : state) {
+    const std::vector<ReplayResult> res =
+        fleet.replay({cell}, trace, opts);
+    benchmark::DoNotOptimize(res);
+    planned += 3;
+  }
+  state.SetItemsProcessed(planned);
+  state.counters["links"] = 203;
+  state.counters["components"] = 7;
+}
+BENCHMARK(BM_ReplayDecomposed)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 #endif
 #endif

@@ -103,6 +103,13 @@ RatePlan Planner::plan(const MeasurementSnapshot& snap,
   return plan_rates(snap, m, flows, cfg, warm);
 }
 
+ColumnGenOptimizer* Planner::last_entry_column_gen() {
+  if (last_entry_ == nullptr) return nullptr;
+  if (!last_entry_->column_gen)
+    last_entry_->column_gen = std::make_unique<ColumnGenOptimizer>();
+  return last_entry_->column_gen.get();
+}
+
 void Planner::clear() {
   entries_.clear();
   last_entry_ = nullptr;

@@ -105,6 +105,14 @@ class Planner {
                               std::size_t mis_cap = 200000,
                               bool cacheable = true);
 
+  /// Fast-tier warm state of the entry that served the most recent
+  /// model() call, creating it on demand; nullptr when that call went
+  /// through the uncached/uncacheable path. Valid only until the next
+  /// model()/plan()/clear() call — the decomposition tier (opt/decompose.h)
+  /// uses it to run its joint Frank–Wolfe against this component's
+  /// entry-owned working columns and basis, exactly as plan() would.
+  [[nodiscard]] ColumnGenOptimizer* last_entry_column_gen();
+
   [[nodiscard]] const PlannerStats& stats() const { return stats_; }
 
   /// Value copy of the counters, taken between plan() calls — the

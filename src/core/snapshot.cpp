@@ -62,6 +62,43 @@ std::uint64_t MeasurementSnapshot::topology_fingerprint() const {
   return h;
 }
 
+MeasurementSnapshot MeasurementSnapshot::restrict_to(
+    const std::vector<int>& link_ids) const {
+  MeasurementSnapshot sub;
+  sub.links.reserve(link_ids.size());
+  std::vector<NodeId> nodes;
+  for (const int id : link_ids) {
+    if (id < 0 || id >= static_cast<int>(links.size()))
+      throw std::out_of_range("MeasurementSnapshot::restrict_to");
+    const SnapshotLink& l = links[static_cast<std::size_t>(id)];
+    sub.links.push_back(l);
+    nodes.push_back(l.src);
+    nodes.push_back(l.dst);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  const auto has_node = [&nodes](NodeId n) {
+    return std::binary_search(nodes.begin(), nodes.end(), n);
+  };
+  for (const auto& [a, b] : neighbors)
+    if (has_node(a) && has_node(b)) sub.neighbors.emplace_back(a, b);
+  sub.lir_threshold = lir_threshold;
+  if (!lir.empty()) {
+    const int n = static_cast<int>(link_ids.size());
+    sub.lir.resize(n, n, 1.0);
+    for (int r = 0; r < n; ++r)
+      for (int c = 0; c < n; ++c)
+        sub.lir(r, c) = lir(link_ids[static_cast<std::size_t>(r)],
+                            link_ids[static_cast<std::size_t>(c)]);
+  }
+  return sub;
+}
+
+std::uint64_t MeasurementSnapshot::component_fingerprint(
+    const std::vector<int>& link_ids) const {
+  return restrict_to(link_ids).topology_fingerprint();
+}
+
 std::vector<double> MeasurementSnapshot::capacities() const {
   std::vector<double> caps;
   caps.reserve(links.size());

@@ -73,6 +73,24 @@ struct MeasurementSnapshot {
   /// churn (see core/planner.h for the collision-safety contract).
   [[nodiscard]] std::uint64_t topology_fingerprint() const;
 
+  /// The sub-snapshot induced by `link_ids` (indices into `links`,
+  /// ascending): the named links, the neighbor pairs whose endpoints both
+  /// appear among those links' endpoints, and the principal LIR submatrix.
+  /// For a connected interference component this is exact for BOTH model
+  /// kinds: links sharing a node always conflict, so different components
+  /// have disjoint endpoint sets and no two-hop or LIR relation is lost by
+  /// the restriction (see opt/decompose.h). @throws std::out_of_range on
+  /// an invalid link index.
+  [[nodiscard]] MeasurementSnapshot restrict_to(
+      const std::vector<int>& link_ids) const;
+
+  /// topology_fingerprint() of restrict_to(link_ids) — the per-component
+  /// cache sub-key: churn inside one component changes only that
+  /// component's fingerprint, so other components' planner cache entries
+  /// stay hot.
+  [[nodiscard]] std::uint64_t component_fingerprint(
+      const std::vector<int>& link_ids) const;
+
   /// Per-link capacity estimates (bits/s), in `links` order.
   [[nodiscard]] std::vector<double> capacities() const;
 

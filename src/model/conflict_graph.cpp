@@ -217,6 +217,67 @@ MisRowSet ConflictGraph::independent_set_rows(std::size_t cap) const {
   return rows;
 }
 
+ComponentPartition ConflictGraph::connected_components() const {
+  ComponentPartition part;
+  part.component_of.assign(static_cast<std::size_t>(n_), -1);
+  if (n_ == 0) return part;
+  const int words = words_;
+  std::vector<std::uint64_t> visited(static_cast<std::size_t>(words), 0);
+  std::vector<std::uint64_t> frontier(static_cast<std::size_t>(words), 0);
+  std::vector<std::uint64_t> next(static_cast<std::size_t>(words), 0);
+  std::vector<std::uint64_t> in_comp(static_cast<std::size_t>(words), 0);
+  for (int start = 0; start < n_; ++start) {
+    if ((visited[std::size_t(start >> 6)] >> (start & 63)) & 1) continue;
+    // Seed a new component at the smallest unvisited link; scanning
+    // starts ascending makes the component order canonical by smallest
+    // member.
+    std::fill(frontier.begin(), frontier.end(), 0);
+    std::fill(in_comp.begin(), in_comp.end(), 0);
+    frontier[std::size_t(start >> 6)] |= std::uint64_t{1} << (start & 63);
+    in_comp[std::size_t(start >> 6)] |= std::uint64_t{1} << (start & 63);
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      // Next frontier = union of the current frontier's adjacency rows,
+      // minus everything already in the component. The next buffer must
+      // stay separate from the frontier being scanned: expanding into the
+      // scan target would consume higher-word discoveries before they are
+      // committed to in_comp, silently dropping them from the component.
+      std::fill(next.begin(), next.end(), 0);
+      for (int w = 0; w < words; ++w) {
+        std::uint64_t f = frontier[std::size_t(w)];
+        while (f != 0) {
+          const int v = w * 64 + std::countr_zero(f);
+          f &= f - 1;
+          const std::uint64_t* rv = row(v);
+          for (int k = 0; k < words; ++k)
+            next[std::size_t(k)] |= rv[k];
+        }
+      }
+      for (int k = 0; k < words; ++k) {
+        next[std::size_t(k)] &= ~in_comp[std::size_t(k)];
+        if (next[std::size_t(k)] != 0) grew = true;
+        in_comp[std::size_t(k)] |= next[std::size_t(k)];
+        frontier[std::size_t(k)] = next[std::size_t(k)];
+      }
+    }
+    const int comp = static_cast<int>(part.members.size());
+    std::vector<int> links;
+    for (int w = 0; w < words; ++w) {
+      visited[std::size_t(w)] |= in_comp[std::size_t(w)];
+      std::uint64_t word = in_comp[std::size_t(w)];
+      while (word != 0) {
+        const int v = w * 64 + std::countr_zero(word);
+        word &= word - 1;
+        links.push_back(v);
+        part.component_of[std::size_t(v)] = comp;
+      }
+    }
+    part.members.push_back(std::move(links));
+  }
+  return part;
+}
+
 ConflictGraph build_lir_conflict_graph(const DenseMatrix& lir,
                                        double threshold) {
   if (lir.rows() != lir.cols())

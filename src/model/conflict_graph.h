@@ -56,6 +56,24 @@ class MisRowSet {
   std::vector<std::uint64_t> bits_;  ///< count_ rows of words_ words each
 };
 
+/// Connected components of a conflict graph, in canonical order: the
+/// components are sorted by their smallest member link, and each member
+/// list is ascending. Two links in different components can never
+/// conflict, so the rate region factors across components (the basis of
+/// the decomposition tier, see opt/decompose.h).
+struct ComponentPartition {
+  /// members[c] = ascending link indices of component c; components
+  /// ordered by members[c][0] ascending.
+  std::vector<std::vector<int>> members;
+  /// component_of[l] = index into members for link l.
+  std::vector<int> component_of;
+
+  [[nodiscard]] int count() const { return static_cast<int>(members.size()); }
+
+  friend bool operator==(const ComponentPartition&,
+                         const ComponentPartition&) = default;
+};
+
 /// Adjacency is stored as packed 64-bit bitset rows (row i, bit j set when
 /// links i and j conflict), so set operations in the enumeration are word-
 /// parallel AND/ANDNOT + popcount instead of per-vertex scans.
@@ -101,6 +119,13 @@ class ConflictGraph {
   /// topology rounds skip Bron–Kerbosch entirely; one-shot consumers keep
   /// streaming through for_each_independent_set_row / the matrix bridge.
   [[nodiscard]] MisRowSet independent_set_rows(std::size_t cap = 200000) const;
+
+  /// Connected components via bitset BFS over the packed adjacency rows:
+  /// each frontier expansion ORs whole adjacency rows, so the cost is
+  /// O(V * row_words) words per component rather than per-edge pointer
+  /// chasing. Output is canonical (see ComponentPartition) and the
+  /// isolated-vertex case yields singleton components.
+  [[nodiscard]] ComponentPartition connected_components() const;
 
   /// Number of 64-bit words per adjacency row.
   [[nodiscard]] int row_words() const { return words_; }

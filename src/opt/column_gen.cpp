@@ -576,6 +576,58 @@ OptimizerResult ColumnGenOptimizer::solve_alpha_fair(const ColumnGenInput& in,
   return result;
 }
 
+OptimizerResult ColumnGenOptimizer::begin_fw_round(
+    const ColumnGenInput& input) {
+  if (input.conflicts == nullptr)
+    throw std::invalid_argument("ColumnGenInput: conflicts is required");
+  Shape s;
+  s.links = input.routing.rows();
+  s.flows = input.routing.cols();
+  fw_last_ok_ = false;
+  OptimizerResult empty;
+  if (s.flows == 0 || s.links == 0) return empty;
+  if (input.conflicts->size() != s.links)
+    throw std::invalid_argument("conflict graph size != link count");
+  if (static_cast<int>(input.capacities.size()) != s.links)
+    throw std::invalid_argument("capacities size != link count");
+  double max_cap = 0.0;
+  for (double c : input.capacities) max_cap = std::max(max_cap, c);
+  s.scale = input.scale_override > 0.0 ? input.scale_override
+                                       : (max_cap > 0.0 ? max_cap : 1.0);
+
+  ++stats_.solves;
+  solve_pricing_rounds_ = 0;
+  seed_columns(input);
+
+  // The interior-ish starting point the in-process FW uses, then the FW
+  // master the oracle iterations price against.
+  OptimizerResult start = solve_max_min(input, s);
+  fw_shape_ = s;
+  if (!start.ok) return start;
+  build_master(input, s, /*extra_vars=*/0);
+  start.columns_used = columns_.count();
+  start.pricing_rounds = solve_pricing_rounds_;
+  return start;
+}
+
+LpSolution ColumnGenOptimizer::fw_oracle(const ColumnGenInput& input,
+                                         const std::vector<double>& grad,
+                                         bool first) {
+  master_.objective.assign(static_cast<std::size_t>(master_.num_vars), 0.0);
+  for (int f = 0; f < fw_shape_.flows; ++f)
+    master_.objective[static_cast<std::size_t>(f)] =
+        grad[static_cast<std::size_t>(f)];
+  const LpSolution sol = cg_solve(
+      input, fw_shape_, first ? Start::kWarmBasis : Start::kResolveObjective);
+  fw_last_ok_ = sol.status == LpStatus::kOptimal;
+  return sol;
+}
+
+void ColumnGenOptimizer::end_fw_round() {
+  if (fw_last_ok_) save_basis();
+  fw_last_ok_ = false;
+}
+
 OptimizerResult ColumnGenOptimizer::solve(const ColumnGenInput& input) {
   if (input.conflicts == nullptr)
     throw std::invalid_argument("ColumnGenInput: conflicts is required");
@@ -593,7 +645,8 @@ OptimizerResult ColumnGenOptimizer::solve(const ColumnGenInput& input) {
   // the max capacity — the normalized masters of both tiers agree.
   double max_cap = 0.0;
   for (double c : input.capacities) max_cap = std::max(max_cap, c);
-  s.scale = max_cap > 0.0 ? max_cap : 1.0;
+  s.scale = input.scale_override > 0.0 ? input.scale_override
+                                       : (max_cap > 0.0 ? max_cap : 1.0);
 
   ++stats_.solves;
   solve_pricing_rounds_ = 0;

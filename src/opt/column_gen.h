@@ -95,6 +95,11 @@ struct ColumnGenInput {
   const ConflictGraph* conflicts = nullptr;
   /// Per-link capacities in bits/s, length L, aligned with the graph.
   std::vector<double> capacities;
+  /// When > 0, normalize capacities by this instead of the input's own
+  /// max capacity — the decomposition tier passes the global scale so
+  /// per-component masters share the monolithic solve's scaled units
+  /// (see OptimizerInput::scale_override). 0 (default) self-scales.
+  double scale_override = 0.0;
 };
 
 /// Exact max-weight independent set over a conflict graph: branch and
@@ -153,6 +158,23 @@ class ColumnGenOptimizer {
   /// (a different topology, not just drifted capacities).
   void reset();
 
+  /// Split-phase Frank–Wolfe support for the decomposition tier's JOINT
+  /// FW loop (opt/decompose.h): the global iterate and line search live
+  /// in the caller, while each component's linear oracle is priced here.
+  /// begin_fw_round validates the input, seeds/keeps the working set,
+  /// runs the internal max-min starting point, and builds the FW master;
+  /// the returned result is that starting point (ok == false on
+  /// degenerate input — skip the round). Call fw_oracle once per FW
+  /// iteration with the gradient over this input's flows (`first` on the
+  /// iteration that should try the carried warm basis), then
+  /// end_fw_round() to save the final basis for the next round. A plain
+  /// solve() may be interleaved only after end_fw_round.
+  [[nodiscard]] OptimizerResult begin_fw_round(const ColumnGenInput& input);
+  [[nodiscard]] LpSolution fw_oracle(const ColumnGenInput& input,
+                                     const std::vector<double>& grad,
+                                     bool first);
+  void end_fw_round();
+
   [[nodiscard]] const MisRowSet& columns() const { return columns_; }
   [[nodiscard]] const ColumnGenStats& stats() const { return stats_; }
 
@@ -202,6 +224,8 @@ class ColumnGenOptimizer {
 
   ColumnGenStats stats_;
   int solve_pricing_rounds_ = 0;  ///< pricing rounds in the current solve()
+  Shape fw_shape_;        ///< shape of the split-phase FW round in flight
+  bool fw_last_ok_ = false;  ///< last fw_oracle solved to optimality
 
   // Per-solve scratch, reused across calls.
   std::vector<double> duals_;

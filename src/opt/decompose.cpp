@@ -1,0 +1,416 @@
+#include "opt/decompose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+#include "opt/utility.h"
+
+namespace meshopt {
+
+namespace {
+
+/// Per-round working state of one ACTIVE component (a component with at
+/// least one assigned flow). Owns everything its phase-A job writes, so
+/// pool jobs touch disjoint memory and the round is bit-identical across
+/// thread counts.
+struct CompWork {
+  MeasurementSnapshot sub;            ///< restricted snapshot
+  std::vector<std::size_t> flow_ids;  ///< global flow indices, ascending
+
+  // Fast tier.
+  ColumnGenInput cg_in;
+  ColumnGenOptimizer* warm = nullptr;  ///< entry-owned or `cold`
+  std::unique_ptr<ColumnGenOptimizer> cold;
+  std::uint64_t pricing_before = 0;
+
+  // Exact tier.
+  LpProblem lp;  ///< joint-FW oracle constraint set
+  int region_rows = 0;
+
+  OptimizerResult result;  ///< final (kMT/kMM) or FW starting point
+};
+
+bool concave_objective(Objective o) {
+  return o == Objective::kProportionalFair || o == Objective::kAlphaFair;
+}
+
+}  // namespace
+
+RatePlan DecomposedPlanner::fallback_plan(const MeasurementSnapshot& snap,
+                                          InterferenceModelKind kind,
+                                          const std::vector<FlowSpec>& flows,
+                                          const PlanConfig& cfg,
+                                          std::size_t mis_cap, bool cacheable,
+                                          std::uint64_t DecomposeStats::*why) {
+  ++stats_.fallback_rounds;
+  ++(stats_.*why);
+  return fallback_.plan(snap, kind, flows, cfg, mis_cap, cacheable);
+}
+
+RatePlan DecomposedPlanner::plan(const MeasurementSnapshot& snap,
+                                 InterferenceModelKind kind,
+                                 const std::vector<FlowSpec>& flows,
+                                 const PlanConfig& cfg, std::size_t mis_cap,
+                                 bool cacheable) {
+  ++stats_.rounds;
+  if (flows.empty() || snap.links.empty())
+    return fallback_plan(snap, kind, flows, cfg, mis_cap, cacheable,
+                         &DecomposeStats::fallback_degenerate);
+
+  // Partition along the same conflict graph the per-component models will
+  // build (including the LIR -> two-hop fallback for LIR-less snapshots),
+  // so component membership and model structure can never disagree.
+  const bool lir_model =
+      kind == InterferenceModelKind::kLirTable && !snap.lir.empty();
+  const ConflictGraph graph =
+      lir_model ? build_lir_conflict_graph(snap.lir, snap.lir_threshold)
+                : build_two_hop_conflict_graph(
+                      snap.link_refs(), [&snap](NodeId a, NodeId b) {
+                        return snap.is_neighbor(a, b);
+                      });
+  ComponentPartition part = graph.connected_components();
+  if (part.count() < cfg_.min_components)
+    return fallback_plan(snap, kind, flows, cfg, mis_cap, cacheable,
+                         &DecomposeStats::fallback_connected);
+
+  // Assign each flow to the one component its modeled links live in. The
+  // decomposition is exact only when flows never straddle components.
+  const std::size_t num_flows = flows.size();
+  std::vector<int> flow_comp(num_flows, -1);
+  for (std::size_t s = 0; s < num_flows; ++s) {
+    const auto& path = flows[s].path;
+    int comp = -1;
+    bool single = true;
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      const int l = snap.link_index(path[h], path[h + 1]);
+      if (l < 0) continue;
+      const int c = part.component_of[static_cast<std::size_t>(l)];
+      if (comp < 0)
+        comp = c;
+      else if (comp != c) {
+        single = false;
+        break;
+      }
+    }
+    if (!single || comp < 0)
+      return fallback_plan(snap, kind, flows, cfg, mis_cap, cacheable,
+                           &DecomposeStats::fallback_cross_component);
+    flow_comp[s] = comp;
+  }
+
+  // Keep component slots (their Planner caches and fast-tier warm state)
+  // when the partition's membership is unchanged; rebuild otherwise.
+  bool reuse = slots_.size() == part.members.size();
+  if (reuse) {
+    for (std::size_t c = 0; c < slots_.size(); ++c) {
+      if (slots_[c]->members != part.members[c]) {
+        reuse = false;
+        break;
+      }
+    }
+  }
+  if (!reuse) {
+    slots_.clear();
+    slots_.reserve(part.members.size());
+    for (const std::vector<int>& members : part.members)
+      slots_.push_back(std::make_unique<Slot>(members, cfg_.component_cache));
+    ++stats_.partition_rebuilds;
+  }
+  partition_ = std::move(part);
+
+  // Active components: only those with assigned flows are planned (a
+  // flow-less component contributes nothing to any objective — its link
+  // rows are slack at y = 0).
+  std::vector<CompWork> works;
+  for (int c = 0; c < partition_.count(); ++c) {
+    std::vector<std::size_t> ids;
+    for (std::size_t s = 0; s < num_flows; ++s)
+      if (flow_comp[s] == c) ids.push_back(s);
+    if (ids.empty()) continue;
+    CompWork w;
+    w.sub = snap.restrict_to(
+        partition_.members[static_cast<std::size_t>(c)]);
+    w.flow_ids = std::move(ids);
+    works.push_back(std::move(w));
+  }
+  ++stats_.decomposed_rounds;
+  stats_.components_planned += works.size();
+  if (works.empty()) return RatePlan{};  // unreachable: flows is non-empty
+
+  // The GLOBAL capacity scale: the monolithic extreme-point matrix's max
+  // entry is the max link capacity (every link is in some maximal
+  // independent set), so every per-component solve normalized by sigma
+  // runs in exactly the monolithic solve's scaled units.
+  double sigma = 0.0;
+  for (const SnapshotLink& l : snap.links)
+    sigma = std::max(sigma, l.estimate.capacity_bps);
+  if (sigma <= 0.0) sigma = 1.0;
+
+  const bool fast = cfg.tier == PlanTier::kFast;
+  const bool concave = concave_objective(cfg.optimizer.objective);
+
+  // --- Phase A: per-component model + solve (poolable; disjoint state).
+  // kMaxThroughput / kMaxMin solve to completion here; the concave
+  // objectives compute their max-min starting point and prepare the
+  // linear-oracle state for the joint Frank-Wolfe below.
+  auto run_component = [&](CompWork& w) {
+    const int comp = flow_comp[w.flow_ids.front()];
+    Slot& slot = *slots_[static_cast<std::size_t>(comp)];
+    const InterferenceModel& m =
+        slot.planner.model(w.sub, kind, mis_cap, cacheable);
+
+    const int sub_links = static_cast<int>(w.sub.links.size());
+    const int sub_flows = static_cast<int>(w.flow_ids.size());
+    DenseMatrix routing(sub_links, sub_flows);
+    for (int i = 0; i < sub_flows; ++i) {
+      const auto& path = flows[w.flow_ids[static_cast<std::size_t>(i)]].path;
+      for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+        const int l = w.sub.link_index(path[h], path[h + 1]);
+        if (l >= 0) routing(l, i) = 1.0;
+      }
+    }
+
+    if (fast) {
+      w.cg_in.routing = std::move(routing);
+      w.cg_in.conflicts = &m.conflicts();
+      w.cg_in.capacities = w.sub.capacities();
+      w.cg_in.scale_override = sigma;
+      w.warm = slot.planner.last_entry_column_gen();
+      if (w.warm == nullptr) {
+        w.cold = std::make_unique<ColumnGenOptimizer>();
+        w.warm = w.cold.get();
+      }
+      w.warm->config() = cfg.optimizer;
+      w.pricing_before = w.warm->stats().pricing_rounds;
+      w.result = concave ? w.warm->begin_fw_round(w.cg_in)
+                         : w.warm->solve(w.cg_in);
+    } else {
+      OptimizerInput in;
+      in.routing = std::move(routing);
+      in.extreme_points = m.extreme_points();
+      in.scale_override = sigma;
+      w.region_rows = in.extreme_points.rows();
+      if (concave) {
+        // The monolithic concave solve starts from max-min; mirror that
+        // per component, then keep the constraint set for the oracle.
+        OptimizerConfig start_cfg = cfg.optimizer;
+        start_cfg.objective = Objective::kMaxMin;
+        slot.exact.config() = start_cfg;
+        w.result = slot.exact.solve(in);
+        w.lp = build_rate_region_lp(in, sigma);
+      } else {
+        slot.exact.config() = cfg.optimizer;
+        w.result = slot.exact.solve(in);
+      }
+    }
+  };
+
+  if (pool_ != nullptr && works.size() > 1) {
+    pool_->run_raw(static_cast<int>(works.size()), /*master_seed=*/0,
+                   [&](const SweepJob& job) {
+                     run_component(works[static_cast<std::size_t>(job.index)]);
+                   });
+  } else {
+    for (CompWork& w : works) run_component(w);
+  }
+
+  for (const CompWork& w : works)
+    if (!w.result.ok) return RatePlan{};
+
+  // --- Phase B: stitch (and, for concave objectives, the joint
+  // Frank-Wolfe). Runs on the calling thread in component order.
+  std::vector<double> y(num_flows, 0.0);
+  double objective_value = 0.0;
+  int fw_iterations = 0;
+
+  if (!concave) {
+    for (const CompWork& w : works)
+      for (std::size_t i = 0; i < w.flow_ids.size(); ++i)
+        y[w.flow_ids[i]] = w.result.y[i];
+    if (cfg.optimizer.objective == Objective::kMaxThroughput) {
+      for (double v : y) objective_value += v;
+    } else {
+      objective_value = *std::min_element(y.begin(), y.end());
+    }
+  } else {
+    // One global Frank-Wolfe iterate over all flows, with the identical
+    // gradient / gap / golden-section arithmetic of the monolithic
+    // solvers; each iteration's linear oracle decomposes per component.
+    const double alpha = cfg.optimizer.objective == Objective::kProportionalFair
+                             ? 1.0
+                             : cfg.optimizer.alpha;
+    const AlphaFairUtility util(alpha, 1e-6);
+    std::vector<double> z(num_flows, 0.0);
+    std::vector<double> v(num_flows, 0.0);
+    std::vector<double> grad(num_flows, 0.0);
+    std::vector<double> grad_c;
+    for (const CompWork& w : works)
+      for (std::size_t i = 0; i < w.flow_ids.size(); ++i)
+        z[w.flow_ids[i]] = std::max(w.result.y[i] / sigma, 1e-6);
+
+    const auto objective_of = [&](const std::vector<double>& vec) {
+      double acc = 0.0;
+      for (std::size_t f = 0; f < num_flows; ++f) acc += util.value(vec[f]);
+      return acc;
+    };
+
+    int iter = 0;
+    for (; iter < cfg.optimizer.fw_iterations; ++iter) {
+      for (std::size_t f = 0; f < num_flows; ++f)
+        grad[f] = util.gradient(z[f]);
+
+      // Linear oracle, component by component. The monolithic solver
+      // stops (keeping the current iterate) when its oracle fails;
+      // mirror that for any component's failure.
+      bool oracle_ok = true;
+      for (CompWork& w : works) {
+        const std::size_t nc = w.flow_ids.size();
+        if (fast) {
+          grad_c.assign(nc, 0.0);
+          for (std::size_t i = 0; i < nc; ++i) grad_c[i] = grad[w.flow_ids[i]];
+          const LpSolution sol =
+              w.warm->fw_oracle(w.cg_in, grad_c, /*first=*/iter == 0);
+          if (sol.status != LpStatus::kOptimal) {
+            oracle_ok = false;
+            break;
+          }
+          for (std::size_t i = 0; i < nc; ++i) v[w.flow_ids[i]] = sol.x[i];
+        } else {
+          const int comp = flow_comp[w.flow_ids.front()];
+          Slot& slot = *slots_[static_cast<std::size_t>(comp)];
+          w.lp.objective.assign(static_cast<std::size_t>(w.lp.num_vars), 0.0);
+          for (std::size_t i = 0; i < nc; ++i)
+            w.lp.objective[i] = grad[w.flow_ids[i]];
+          const LpSolution sol = iter == 0
+                                     ? slot.oracle_lp.solve(w.lp)
+                                     : slot.oracle_lp.resolve_objective(w.lp);
+          if (sol.status != LpStatus::kOptimal) {
+            oracle_ok = false;
+            break;
+          }
+          for (std::size_t i = 0; i < nc; ++i) v[w.flow_ids[i]] = sol.x[i];
+        }
+      }
+      if (!oracle_ok) break;
+
+      double gap = 0.0;
+      for (std::size_t f = 0; f < num_flows; ++f)
+        gap += grad[f] * (v[f] - z[f]);
+      if (gap <= cfg.optimizer.tolerance * (std::abs(objective_of(z)) + 1.0))
+        break;
+
+      const auto blend_obj = [&](double gamma) {
+        double acc = 0.0;
+        for (std::size_t f = 0; f < num_flows; ++f)
+          acc += util.value((1.0 - gamma) * z[f] + gamma * v[f]);
+        return acc;
+      };
+      double lo = 0.0, hi = 1.0;
+      constexpr double kGolden = 0.3819660112501051;
+      double m1 = lo + kGolden * (hi - lo), m2 = hi - kGolden * (hi - lo);
+      double f1 = blend_obj(m1), f2 = blend_obj(m2);
+      for (int it = 0; it < 40; ++it) {
+        if (f1 < f2) {
+          lo = m1;
+          m1 = m2;
+          f1 = f2;
+          m2 = hi - kGolden * (hi - lo);
+          f2 = blend_obj(m2);
+        } else {
+          hi = m2;
+          m2 = m1;
+          f2 = f1;
+          m1 = lo + kGolden * (hi - lo);
+          f1 = blend_obj(m1);
+        }
+      }
+      const double gamma = 0.5 * (lo + hi);
+      for (std::size_t f = 0; f < num_flows; ++f)
+        z[f] = (1.0 - gamma) * z[f] + gamma * v[f];
+    }
+    fw_iterations = iter;
+    for (std::size_t f = 0; f < num_flows; ++f) y[f] = z[f] * sigma;
+    objective_value = objective_of(z);
+    if (fast)
+      for (CompWork& w : works) w.warm->end_fw_round();
+  }
+
+  // --- Phase C: one RatePlan with the monolithic metadata conventions
+  // and loss-compensation tail over the FULL snapshot.
+  RatePlan plan;
+  plan.ok = true;
+  plan.tier = cfg.tier;
+  plan.optimizer_iterations = fw_iterations;
+  plan.objective_value = objective_value;
+  if (fast) {
+    int cols = 0;
+    int pricing = 0;
+    for (const CompWork& w : works) {
+      if (concave) {
+        cols += w.warm->columns().count();
+        pricing += static_cast<int>(w.warm->stats().pricing_rounds -
+                                    w.pricing_before);
+      } else {
+        cols += w.result.columns_used;
+        pricing += w.result.pricing_rounds;
+      }
+    }
+    plan.extreme_points = cols;
+    plan.columns_generated = cols;
+    plan.pricing_rounds = pricing;
+  } else {
+    int region = 0;
+    for (const CompWork& w : works) region += w.region_rows;
+    plan.extreme_points = region;
+  }
+  plan.y = y;
+  plan.x.resize(num_flows, 0.0);
+  plan.shapers.reserve(num_flows);
+  for (std::size_t s = 0; s < num_flows; ++s) {
+    const FlowSpec& f = flows[s];
+    // Residual network-layer loss after MAC retries: p_net = p_link^R.
+    double deliver = 1.0;
+    for (std::size_t h = 0; h + 1 < f.path.size(); ++h) {
+      const int li = snap.link_index(f.path[h], f.path[h + 1]);
+      if (li < 0) continue;
+      const SnapshotLink& link = snap.links[static_cast<std::size_t>(li)];
+      deliver *= 1.0 - std::pow(link.estimate.p_link, link.retry_limit);
+    }
+    double x = plan.y[s] / std::max(deliver, 1e-3);
+    if (f.is_tcp) x *= tcp_ack_airtime_factor();
+    x *= cfg.headroom;
+    plan.x[s] = x;
+    plan.shapers.push_back(ShaperProgram{f.flow_id, x});
+  }
+  return plan;
+}
+
+PlannerStats DecomposedPlanner::planner_stats_snapshot() const {
+  PlannerStats total = fallback_.stats_snapshot();
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    const PlannerStats& s = slot->planner.stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.uncacheable_plans += s.uncacheable_plans;
+  }
+  return total;
+}
+
+const PlannerStats& DecomposedPlanner::component_planner_stats(int c) const {
+  if (c < 0 || c >= static_cast<int>(slots_.size()))
+    throw std::out_of_range("DecomposedPlanner: component index");
+  return slots_[static_cast<std::size_t>(c)]->planner.stats();
+}
+
+void DecomposedPlanner::clear() {
+  fallback_.clear();
+  slots_.clear();
+  partition_ = ComponentPartition{};
+  stats_ = DecomposeStats{};
+}
+
+}  // namespace meshopt

@@ -25,44 +25,16 @@ ProblemShape shape_of(const OptimizerInput& in) {
   const std::size_t total = static_cast<std::size_t>(s.points) *
                             static_cast<std::size_t>(in.extreme_points.cols());
   for (std::size_t i = 0; i < total; ++i) max_cap = std::max(max_cap, p[i]);
-  s.scale = max_cap > 0.0 ? max_cap : 1.0;
+  s.scale = in.scale_override > 0.0 ? in.scale_override
+                                    : (max_cap > 0.0 ? max_cap : 1.0);
   return s;
 }
 
-/// Build the shared constraint set over variables (y_0..y_{S-1},
-/// alpha_0..alpha_{K-1}[, extras]) with capacities scaled to ~1.
-/// `extra_vars` appends zero-coefficient variables (used by max-min for
-/// its water-level variable t) so callers never have to widen rows later.
+/// See build_rate_region_lp (the public entry point below); kept as the
+/// internal spelling so the solver routines read against the shape.
 LpProblem base_problem(const OptimizerInput& in, const ProblemShape& s,
                        int extra_vars = 0) {
-  LpProblem lp;
-  lp.num_vars = s.flows + s.points + extra_vars;
-  lp.objective.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
-
-  const double inv_scale = 1.0 / s.scale;
-  for (int l = 0; l < s.links; ++l) {
-    double* row = lp.add_row(Relation::kLe, 0.0);
-    const double* routing = in.routing.row(l);
-    for (int f = 0; f < s.flows; ++f) row[f] = routing[f];
-    // Column l of the K x L extreme-point matrix, negated and normalized.
-    for (int k = 0; k < s.points; ++k)
-      row[s.flows + k] = -in.extreme_points(k, l) * inv_scale;
-  }
-  // Convex weights sum to one.
-  double* simplex_row = lp.add_row(Relation::kEq, 1.0);
-  for (int k = 0; k < s.points; ++k) simplex_row[s.flows + k] = 1.0;
-
-  // Safety cap: a flow crossing no modeled link would be unbounded.
-  for (int f = 0; f < s.flows; ++f) {
-    bool routed = false;
-    for (int l = 0; l < s.links; ++l)
-      if (in.routing(l, f) > 0.0) routed = true;
-    if (!routed) {
-      double* row = lp.add_row(Relation::kLe, 1.0);
-      row[f] = 1.0;
-    }
-  }
-  return lp;
+  return build_rate_region_lp(in, s.scale, extra_vars);
 }
 
 OptimizerResult unpack(const LpSolution& sol, const ProblemShape& s) {
@@ -292,6 +264,41 @@ OptimizerResult solve_alpha_fair(const OptimizerInput& in,
 }
 
 }  // namespace
+
+LpProblem build_rate_region_lp(const OptimizerInput& in, double scale,
+                               int extra_vars) {
+  const int links = in.routing.rows();
+  const int flows = in.routing.cols();
+  const int points = in.extreme_points.rows();
+  LpProblem lp;
+  lp.num_vars = flows + points + extra_vars;
+  lp.objective.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
+
+  const double inv_scale = 1.0 / scale;
+  for (int l = 0; l < links; ++l) {
+    double* row = lp.add_row(Relation::kLe, 0.0);
+    const double* routing = in.routing.row(l);
+    for (int f = 0; f < flows; ++f) row[f] = routing[f];
+    // Column l of the K x L extreme-point matrix, negated and normalized.
+    for (int k = 0; k < points; ++k)
+      row[flows + k] = -in.extreme_points(k, l) * inv_scale;
+  }
+  // Convex weights sum to one.
+  double* simplex_row = lp.add_row(Relation::kEq, 1.0);
+  for (int k = 0; k < points; ++k) simplex_row[flows + k] = 1.0;
+
+  // Safety cap: a flow crossing no modeled link would be unbounded.
+  for (int f = 0; f < flows; ++f) {
+    bool routed = false;
+    for (int l = 0; l < links; ++l)
+      if (in.routing(l, f) > 0.0) routed = true;
+    if (!routed) {
+      double* row = lp.add_row(Relation::kLe, 1.0);
+      row[f] = 1.0;
+    }
+  }
+  return lp;
+}
 
 OptimizerResult NetworkOptimizer::solve(const OptimizerInput& input) {
   const ProblemShape s = shape_of(input);

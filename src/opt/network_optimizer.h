@@ -56,6 +56,13 @@ struct OptimizerInput {
   /// with build_extreme_point_matrix() to stream ConflictGraph bitset
   /// rows straight into this matrix.
   DenseMatrix extreme_points;
+  /// When > 0, normalize capacities by this instead of the input's own
+  /// max extreme-point entry. The decomposition tier (opt/decompose.h)
+  /// passes the GLOBAL scale into each per-component solve so scaled
+  /// iterates, tolerances, and stop thresholds have exactly the
+  /// semantics of the monolithic solve. 0 (default) keeps the
+  /// self-scaling behavior.
+  double scale_override = 0.0;
 };
 
 /// One optimization round's output.
@@ -106,6 +113,19 @@ class NetworkOptimizer {
   OptimizerConfig cfg_;
   LpSolver lp_;  ///< shared simplex workspace across all internal solves
 };
+
+/// Build the shared rate-region constraint set over variables
+/// (y_0..y_{S-1}, alpha_0..alpha_{K-1}[, extras]) with capacities
+/// normalized by `scale`: per-link Le rows coupling flows to extreme
+/// points, the convexity Eq row, and unit caps on unrouted flows.
+/// `extra_vars` appends zero-coefficient variables (max-min's water-level
+/// variable t). This is the exact problem NetworkOptimizer builds
+/// internally, exposed so the decomposition tier's joint Frank–Wolfe can
+/// run per-component oracles over identical constraint sets (see
+/// opt/decompose.h).
+[[nodiscard]] LpProblem build_rate_region_lp(const OptimizerInput& in,
+                                             double scale,
+                                             int extra_vars = 0);
 
 /// One-shot convenience wrapper: NetworkOptimizer(config).solve(input).
 [[nodiscard]] OptimizerResult optimize_rates(const OptimizerInput& input,

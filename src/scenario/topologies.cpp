@@ -1,6 +1,11 @@
 #include "scenario/topologies.h"
 
+#include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
 
 namespace meshopt {
 
@@ -70,6 +75,116 @@ void build_gateway_chain(Workbench& wb, double cross_rss_dbm) {
   ch.set_rss_symmetric_dbm(1, 2, -58.0);
   ch.set_rss_symmetric_dbm(3, 2, cross_rss_dbm);
   ch.set_rss_symmetric_dbm(1, 3, -70.0);
+}
+
+namespace {
+
+/// Cluster of the bridge with global bridge index b: joins lo and lo + 1.
+int bridge_lo_cluster(const CityParams& p, int b) {
+  return p.clusters > 1 ? b % (p.clusters - 1) : 0;
+}
+
+/// Synthesized pairwise RSS between links i and j of the city layout
+/// (cluster links first, bridges last): intra-cluster pairs are strong,
+/// a bridge hears the two clusters it joins (and its fellow bridges not
+/// at all), everything else is silent.
+double city_pair_rss(const CityParams& p, int i, int j) {
+  const int cluster_links = p.clusters * p.links_per_cluster;
+  const auto cluster_of = [&](int l) {
+    return l < cluster_links ? l / p.links_per_cluster : -1;
+  };
+  const int ci = cluster_of(i), cj = cluster_of(j);
+  if (ci >= 0 && cj >= 0) return ci == cj ? p.cluster_rss_dbm : kSilentDbm;
+  if (ci < 0 && cj < 0) return kSilentDbm;  // bridge <-> bridge
+  const int bridge = (ci < 0 ? i : j) - cluster_links;
+  const int cluster = ci < 0 ? cj : ci;
+  const int lo = bridge_lo_cluster(p, bridge);
+  return (cluster == lo || cluster == lo + 1) ? p.bridge_rss_dbm : kSilentDbm;
+}
+
+}  // namespace
+
+MeasurementSnapshot build_city_snapshot(const CityParams& p) {
+  if (p.clusters < 1 || p.links_per_cluster < 1 || p.bridge_links < 0)
+    throw std::invalid_argument("CityParams: bad shape");
+  const int cluster_links = p.clusters * p.links_per_cluster;
+  const int total_links = cluster_links + p.bridge_links;
+  // Each cluster's chain uses links_per_cluster + 1 dedicated nodes; each
+  // bridge uses 2 more. Node ids never overlap across clusters/bridges.
+  const int nodes_per_cluster = p.links_per_cluster + 1;
+
+  MeasurementSnapshot snap;
+  snap.links.reserve(static_cast<std::size_t>(total_links));
+  RngStream rng(p.seed, "city-topology");
+  const auto push_link = [&](NodeId src, NodeId dst) {
+    SnapshotLink l;
+    l.src = src;
+    l.dst = dst;
+    l.rate = Rate::kR11Mbps;
+    l.estimate.p_data = rng.uniform(0.0, 0.05);
+    l.estimate.p_ack = 0.0;
+    l.estimate.p_link = l.estimate.p_data;
+    l.estimate.capacity_bps = p.base_capacity_bps * rng.uniform(0.8, 1.2);
+    snap.links.push_back(l);
+  };
+  for (int c = 0; c < p.clusters; ++c) {
+    const NodeId base = c * nodes_per_cluster;
+    for (int i = 0; i < p.links_per_cluster; ++i)
+      push_link(base + i, base + i + 1);
+  }
+  const NodeId bridge_base = p.clusters * nodes_per_cluster;
+  for (int b = 0; b < p.bridge_links; ++b)
+    push_link(bridge_base + 2 * b, bridge_base + 2 * b + 1);
+
+  // Neighbor relation: each link's own endpoints (enough for a sane
+  // two-hop fallback; the city model is the measured-LIR table below).
+  for (const SnapshotLink& l : snap.links)
+    snap.neighbors.emplace_back(std::min(l.src, l.dst),
+                                std::max(l.src, l.dst));
+  std::sort(snap.neighbors.begin(), snap.neighbors.end());
+  snap.neighbors.erase(
+      std::unique(snap.neighbors.begin(), snap.neighbors.end()),
+      snap.neighbors.end());
+
+  // Binary-LIR interference from the synthesized RSS, cut at the
+  // decomposition threshold: strong pairs conflict, weak pairs are
+  // independent (LIR 1.0).
+  snap.lir_threshold = p.lir_threshold;
+  snap.lir.resize(total_links, total_links, 1.0);
+  for (int i = 0; i < total_links; ++i)
+    for (int j = i + 1; j < total_links; ++j)
+      if (city_pair_rss(p, i, j) >= p.decompose_threshold_dbm) {
+        snap.lir(i, j) = p.conflict_lir;
+        snap.lir(j, i) = p.conflict_lir;
+      }
+  return snap;
+}
+
+std::vector<FlowSpec> city_flows(const CityParams& p) {
+  std::vector<FlowSpec> flows;
+  const int nodes_per_cluster = p.links_per_cluster + 1;
+  const int per_cluster = std::min(p.flows_per_cluster, p.links_per_cluster);
+  int id = 0;
+  for (int c = 0; c < p.clusters; ++c) {
+    const NodeId base = c * nodes_per_cluster;
+    for (int j = 0; j < per_cluster; ++j) {
+      FlowSpec f;
+      f.flow_id = id++;
+      for (int n = j; n <= p.links_per_cluster; ++n) f.path.push_back(base + n);
+      flows.push_back(std::move(f));
+    }
+  }
+  return flows;
+}
+
+std::vector<int> city_cluster_links(const CityParams& p, int cluster) {
+  if (cluster < 0 || cluster >= p.clusters)
+    throw std::out_of_range("city_cluster_links: cluster " +
+                            std::to_string(cluster));
+  std::vector<int> ids(static_cast<std::size_t>(p.links_per_cluster));
+  for (int i = 0; i < p.links_per_cluster; ++i)
+    ids[static_cast<std::size_t>(i)] = cluster * p.links_per_cluster + i;
+  return ids;
 }
 
 }  // namespace meshopt

@@ -13,7 +13,10 @@
 // 2 -> 3 is link B (tx 2).
 
 #include <cstdint>
+#include <vector>
 
+#include "core/rate_plan.h"
+#include "core/snapshot.h"
 #include "phy/channel.h"
 #include "phy/radio.h"
 #include "scenario/workbench.h"
@@ -61,5 +64,49 @@ std::pair<LinkRef, LinkRef> build_two_link(Workbench& wb,
 /// (`cross_rss_dbm`) sets how badly the chain starves. Adds the 4 nodes
 /// and writes the RSS matrix; flows/controllers are the caller's.
 void build_gateway_chain(Workbench& wb, double cross_rss_dbm = -56.0);
+
+/// City-scale mesh: `clusters` gateway neighborhoods, each a chain of
+/// `links_per_cluster` links whose members all interfere pairwise (a
+/// conflict-graph CLIQUE — one transmission per neighborhood at a time),
+/// bridged by `bridge_links` long weak links on dedicated nodes. The
+/// snapshot is built directly (measured-LIR model, no Workbench): pairwise
+/// RSS is synthesized per the layout and cut at `decompose_threshold_dbm` —
+/// pairs at or above the cut get `conflict_lir` (below `lir_threshold`, so
+/// they conflict), weaker pairs get LIR 1.0 (independent). With the default
+/// bridge RSS BELOW the cut the interference graph separates into
+/// `clusters` cliques plus `bridge_links` singletons — the separable
+/// instance the decomposition tier (opt/decompose.h) is built for; lowering
+/// the cut under `bridge_rss_dbm` fuses everything into one component and
+/// exercises the monolithic fallback. Capacities get deterministic per-link
+/// jitter from `seed` so optima are unique (the differential tests compare
+/// decomposed vs monolithic solutions, not just objectives).
+struct CityParams {
+  int clusters = 4;
+  int links_per_cluster = 12;
+  int bridge_links = 3;      ///< bridge b joins clusters b and b+1 (mod)
+  int flows_per_cluster = 3; ///< flow j of a cluster rides links j..end
+  double cluster_rss_dbm = -55.0;  ///< intra-cluster pairwise RSS
+  double bridge_rss_dbm = -82.0;   ///< bridge <-> bridged-cluster RSS
+  double decompose_threshold_dbm = -75.0;  ///< RSS cut for interference
+  double conflict_lir = 0.2;       ///< LIR written for interfering pairs
+  double lir_threshold = 0.95;     ///< snapshot's binary-LIR threshold
+  double base_capacity_bps = 1.0e6;
+  std::uint64_t seed = 1;          ///< capacity/loss jitter stream
+};
+
+/// Build the city snapshot: cluster links first (cluster 0's
+/// `links_per_cluster` links, then cluster 1's, ...), bridge links last.
+[[nodiscard]] MeasurementSnapshot build_city_snapshot(const CityParams& p);
+
+/// Intra-cluster flows (no flow crosses a bridge): per cluster,
+/// `flows_per_cluster` flows where flow j follows the chain from hop j to
+/// the end. Flow ids are globally unique and ascending.
+[[nodiscard]] std::vector<FlowSpec> city_flows(const CityParams& p);
+
+/// Global link indices of one cluster (ascending) — the churn handle:
+/// perturbing these links' LIR cells or capacities touches exactly one
+/// interference component. @throws std::out_of_range on a bad cluster.
+[[nodiscard]] std::vector<int> city_cluster_links(const CityParams& p,
+                                                  int cluster);
 
 }  // namespace meshopt

@@ -34,6 +34,8 @@ void append_tenant_counters(std::string& out, const TenantCounters& c) {
   append_counter(out, "cache_hits", c.cache_hits);
   append_counter(out, "cache_misses", c.cache_misses);
   append_counter(out, "uncacheable_plans", c.uncacheable_plans);
+  append_counter(out, "decomposed_rounds", c.decomposed_rounds);
+  append_counter(out, "components_planned", c.components_planned);
 }
 
 void append_sketch(std::string& out, const char* key,

@@ -40,6 +40,11 @@ struct TenantCounters {
   std::uint64_t cache_hits = 0;        ///< tenant Planner cache hits
   std::uint64_t cache_misses = 0;      ///< tenant Planner cache misses
   std::uint64_t uncacheable_plans = 0; ///< repaired-snapshot planner calls
+  /// Decomposition-tier tenants only (TenantConfig::decompose): rounds
+  /// planned per interference component, and how many active components
+  /// those rounds spanned (DecomposeStats, diffed per served round).
+  std::uint64_t decomposed_rounds = 0;
+  std::uint64_t components_planned = 0;
 
   friend bool operator==(const TenantCounters&,
                          const TenantCounters&) = default;

@@ -204,6 +204,18 @@ ServeBatchReport PlanService::run_batch(long long tick) {
         Item& item = items[i];
         TenantSession& s = sessions_[item.tenant];
         JobOut& out = outs[i];
+        // Decomposition-tier sessions plan through their embedded
+        // DecomposedPlanner; the call contract is identical, so the
+        // guarded path below stays shared.
+        const auto plan_round = [&s](MeasurementSnapshot& snap,
+                                     bool cacheable) {
+          return s.decomposed
+                     ? s.decomposed->plan(snap, s.cfg.interference,
+                                          s.cfg.flows, s.cfg.plan, 200000,
+                                          cacheable)
+                     : s.planner.plan(snap, s.cfg.interference, s.cfg.flows,
+                                      s.cfg.plan, 200000, cacheable);
+        };
         try {
           if (s.cfg.guarded) {
             // Replay-style guarded round (mirrors the fleet's): the
@@ -216,15 +228,12 @@ ServeBatchReport PlanService::run_batch(long long tick) {
             out.verdict = report.verdict;
             if (!report.usable()) return;
             const bool clean = report.verdict == SnapshotVerdict::kClean;
-            out.plan = s.planner.plan(item.req.snapshot, s.cfg.interference,
-                                      s.cfg.flows, s.cfg.plan, 200000,
-                                      /*cacheable=*/clean);
+            out.plan = plan_round(item.req.snapshot, /*cacheable=*/clean);
             const PlanValidator guard(s.cfg.guard.plan);
             if (!guard.validate(out.plan, item.req.snapshot, s.cfg.flows).ok)
               out.plan = RatePlan{};
           } else {
-            out.plan = s.planner.plan(item.req.snapshot, s.cfg.interference,
-                                      s.cfg.flows, s.cfg.plan);
+            out.plan = plan_round(item.req.snapshot, /*cacheable=*/true);
           }
         } catch (const std::exception& e) {
           // Round isolation, as fleet cells: a poisoned snapshot fails
@@ -274,7 +283,11 @@ ServeBatchReport PlanService::run_batch(long long tick) {
     }
     // Meter the session planner by diffing stats snapshots (the
     // per-interval-window pattern Planner::stats_snapshot exists for).
-    const PlannerStats ps = s.planner.stats_snapshot();
+    // Decomposed sessions aggregate their fallback planner plus every
+    // component slot's planner into the same counters.
+    const PlannerStats ps = s.decomposed
+                                ? s.decomposed->planner_stats_snapshot()
+                                : s.planner.stats_snapshot();
     tc.cache_hits += ps.hits - s.seen_stats.hits;
     tc.cache_misses += ps.misses - s.seen_stats.misses;
     tc.uncacheable_plans += ps.uncacheable_plans - s.seen_stats.uncacheable_plans;
@@ -283,6 +296,18 @@ ServeBatchReport PlanService::run_batch(long long tick) {
     g.totals.uncacheable_plans +=
         ps.uncacheable_plans - s.seen_stats.uncacheable_plans;
     s.seen_stats = ps;
+    if (s.decomposed) {
+      const DecomposeStats ds = s.decomposed->stats_snapshot();
+      tc.decomposed_rounds += ds.decomposed_rounds -
+                              s.seen_decompose.decomposed_rounds;
+      tc.components_planned += ds.components_planned -
+                               s.seen_decompose.components_planned;
+      g.totals.decomposed_rounds += ds.decomposed_rounds -
+                                    s.seen_decompose.decomposed_rounds;
+      g.totals.components_planned += ds.components_planned -
+                                     s.seen_decompose.components_planned;
+      s.seen_decompose = ds;
+    }
 
     metrics_.record_tick_latency(
         item.tenant, static_cast<double>(tick - item.req.enqueue_tick));

@@ -39,6 +39,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,7 @@
 #include "core/planner.h"
 #include "core/rate_plan.h"
 #include "core/snapshot.h"
+#include "opt/decompose.h"
 #include "serve/metrics.h"
 #include "serve/wire.h"
 #include "sweep/sweep_runner.h"
@@ -71,6 +73,15 @@ struct TenantConfig {
   /// of queueing behind it: a coalescing tenant always planning its
   /// freshest measurements, with an effective queue depth of one.
   bool coalesce = true;
+  /// Plan this tenant through the decomposition tier (opt/decompose.h):
+  /// the session embeds a DecomposedPlanner (no nested pool — the batch
+  /// job already runs on the service's SweepRunner) with per-component
+  /// model caches and warm state, plus automatic monolithic fallback on
+  /// connected snapshots. `planner_cache` is ignored in favor of
+  /// `decompose_config`'s cache budgets. Metered through the
+  /// TenantCounters::decomposed_rounds / components_planned counters.
+  bool decompose = false;
+  DecomposeConfig decompose_config{};
 };
 
 /// Structured outcome of one submit attempt — the admission layer's shed
@@ -255,14 +266,23 @@ class PlanService {
   struct TenantSession {
     TenantConfig cfg;
     Planner planner;
+    /// Engaged when cfg.decompose: the session plans through this instead
+    /// of `planner` (which then stays idle). Behind a unique_ptr so the
+    /// session remains cheap — and movable — for monolithic tenants.
+    std::unique_ptr<DecomposedPlanner> decomposed;
     std::uint64_t high_seq = 0;         ///< highest accepted sequence
     std::uint64_t last_served_seq = 0;
     RatePlan last_plan;
     PlannerStats seen_stats;  ///< planner counters already metered
+    DecomposeStats seen_decompose;  ///< decompose counters already metered
     std::deque<Pending> queue;
 
     explicit TenantSession(TenantConfig c)
-        : cfg(std::move(c)), planner(cfg.planner_cache) {}
+        : cfg(std::move(c)), planner(cfg.planner_cache) {
+      if (cfg.decompose)
+        decomposed = std::make_unique<DecomposedPlanner>(cfg.decompose_config,
+                                                         /*pool=*/nullptr);
+    }
     // Move-only, and explicitly so: the Planner member holds fast-tier
     // warm state behind a unique_ptr, and without the deleted copy ctor
     // vector reallocation would try the (ill-formed) copy path because

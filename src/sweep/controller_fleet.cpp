@@ -116,18 +116,36 @@ FleetResult run_cell(const FleetCell& cell, const SweepJob& job) {
 /// a pure function of the round's snapshot, so segment sharding stays
 /// bit-identical (no last-known-good hold, no backoff; that state lives
 /// only in the live controller loop).
-RatePlan guarded_replay_round(Planner& planner, const ReplayCell& cell,
-                              const MeasurementSnapshot& round) {
+/// PlannerT is Planner or DecomposedPlanner (identical plan() contracts).
+template <typename PlannerT>
+RatePlan guarded_replay_round(PlannerT& planner, const ReplayCell& cell,
+                              const MeasurementSnapshot& round,
+                              std::size_t mis_cap) {
   MeasurementSnapshot snap = round;  // the repair tier mutates its copy
   const SnapshotValidator validator(cell.guard.snapshot);
   const ValidationReport report = validator.validate(snap);
   if (!report.usable()) return RatePlan{};
   const bool clean = report.verdict == SnapshotVerdict::kClean;
   RatePlan plan = planner.plan(snap, cell.interference, cell.flows,
-                               cell.plan, 200000, /*cacheable=*/clean);
+                               cell.plan, mis_cap, /*cacheable=*/clean);
   const PlanValidator guard(cell.guard.plan);
   if (!guard.validate(plan, snap, cell.flows).ok) return RatePlan{};
   return plan;
+}
+
+/// The shared segment walk, over either planner front end.
+template <typename PlannerT>
+void replay_segment(PlannerT& planner, const ReplayCell& cell,
+                    const std::vector<MeasurementSnapshot>& trace, int lo,
+                    int hi, std::size_t mis_cap, std::vector<RatePlan>& plans) {
+  for (int r = lo; r < hi; ++r) {
+    const MeasurementSnapshot& round = trace[static_cast<std::size_t>(r)];
+    plans[static_cast<std::size_t>(r)] =
+        cell.guarded
+            ? guarded_replay_round(planner, cell, round, mis_cap)
+            : planner.plan(round, cell.interference, cell.flows, cell.plan,
+                           mis_cap);
+  }
 }
 
 }  // namespace
@@ -203,15 +221,19 @@ std::vector<ReplayResult> ControllerFleet::replay(
         std::vector<RatePlan>& plans =
             results[static_cast<std::size_t>(sj.cell)].plans;
         try {
-          Planner planner(opts.planner_cache);
-          for (int r = sj.lo; r < sj.hi; ++r) {
-            const MeasurementSnapshot& round =
-                trace[static_cast<std::size_t>(r)];
-            plans[static_cast<std::size_t>(r)] =
-                cell.guarded
-                    ? guarded_replay_round(planner, cell, round)
-                    : planner.plan(round, cell.interference, cell.flows,
-                                   cell.plan);
+          if (opts.decompose) {
+            // Embedded without a nested pool: this job IS a pool job, and
+            // SweepRunner is not re-entrant. Per-component parallelism is
+            // for direct (non-fleet) DecomposedPlanner use; here the win
+            // is the per-component model/solve scaling itself.
+            DecomposedPlanner planner(opts.decompose_config,
+                                      /*pool=*/nullptr);
+            replay_segment(planner, cell, trace, sj.lo, sj.hi, opts.mis_cap,
+                           plans);
+          } else {
+            Planner planner(opts.planner_cache);
+            replay_segment(planner, cell, trace, sj.lo, sj.hi, opts.mis_cap,
+                           plans);
           }
         } catch (const std::exception& e) {
           // Reset the whole segment: rounds planned before the throw must

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "opt/decompose.h"
 #include "scenario/dynamics.h"
 #include "scenario/faults.h"
 #include "sweep/sweep_runner.h"
@@ -149,6 +150,20 @@ struct ReplayOptions {
   int segment_rounds = 0;
   /// Planner model-cache entries per job (0 = uncached reference path).
   std::size_t planner_cache = 8;
+  /// Plan every round through the decomposition tier (opt/decompose.h):
+  /// each job embeds a DecomposedPlanner (no nested pool — SweepRunner is
+  /// not re-entrant), so separable city-scale rounds pay per-component
+  /// MIS enumeration and per-component solves instead of the monolithic
+  /// product space, with automatic monolithic fallback on connected
+  /// rounds. Same determinism contract as the planner path: bit-identical
+  /// across thread counts and repeated runs for a fixed ReplayOptions.
+  bool decompose = false;
+  DecomposeConfig decompose_config{};  ///< tuning when `decompose` is set
+  /// Maximal-independent-set enumeration cap handed to the planner (the
+  /// default matches Planner::plan). City-scale monolithic cells cap the
+  /// exponential MIS space here; the decomposed tier enumerates per
+  /// component and rarely comes near it.
+  std::size_t mis_cap = 200000;
   /// How replay_file() treats a corrupt mid-trace record (bit rot, a
   /// crashed recorder's tail): kThrow propagates the codec error,
   /// kSkipAndCount skips damaged records and replays what survives (see

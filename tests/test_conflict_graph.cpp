@@ -162,6 +162,137 @@ TEST(ConflictGraph, MisPropertiesOnLargerGraph) {
   }
 }
 
+TEST(ConnectedComponents, EmptyGraph) {
+  const ConflictGraph g(0);
+  const ComponentPartition part = g.connected_components();
+  EXPECT_EQ(part.count(), 0);
+  EXPECT_TRUE(part.members.empty());
+  EXPECT_TRUE(part.component_of.empty());
+}
+
+TEST(ConnectedComponents, SingleClique) {
+  ConflictGraph g(5);
+  for (int i = 0; i < 5; ++i)
+    for (int j = i + 1; j < 5; ++j) g.add_conflict(i, j);
+  const ComponentPartition part = g.connected_components();
+  ASSERT_EQ(part.count(), 1);
+  EXPECT_EQ(part.members[0], (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(part.component_of, (std::vector<int>(5, 0)));
+}
+
+TEST(ConnectedComponents, DisjointCliquesAndIsolatedVertices) {
+  // Clique {0,1,2}, clique {4,5}, isolated 3 and 6: four components,
+  // canonically ordered by smallest member.
+  ConflictGraph g(7);
+  g.add_conflict(0, 1);
+  g.add_conflict(0, 2);
+  g.add_conflict(1, 2);
+  g.add_conflict(4, 5);
+  const ComponentPartition part = g.connected_components();
+  ASSERT_EQ(part.count(), 4);
+  EXPECT_EQ(part.members[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(part.members[1], (std::vector<int>{3}));
+  EXPECT_EQ(part.members[2], (std::vector<int>{4, 5}));
+  EXPECT_EQ(part.members[3], (std::vector<int>{6}));
+  EXPECT_EQ(part.component_of, (std::vector<int>{0, 0, 0, 1, 2, 2, 3}));
+}
+
+TEST(ConnectedComponents, ChainBridgedByOneEdge) {
+  // Two chains 0-1-2 and 3-4-5; adding the bridge 2-3 fuses them.
+  ConflictGraph g(6);
+  g.add_conflict(0, 1);
+  g.add_conflict(1, 2);
+  g.add_conflict(3, 4);
+  g.add_conflict(4, 5);
+  EXPECT_EQ(g.connected_components().count(), 2);
+  g.add_conflict(2, 3);
+  const ComponentPartition part = g.connected_components();
+  ASSERT_EQ(part.count(), 1);
+  EXPECT_EQ(part.members[0], (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ConnectedComponents, MultiWordBitsetRows) {
+  // > 64 vertices so rows span multiple words, with components straddling
+  // the word boundary: pairs (2k, 2k+1) conflict — 70 vertices, 35
+  // two-vertex components; component 31 is {62, 63}, 32 is {64, 65}.
+  ConflictGraph g(140);
+  for (int k = 0; k < 70; ++k) g.add_conflict(2 * k, 2 * k + 1);
+  const ComponentPartition part = g.connected_components();
+  ASSERT_EQ(part.count(), 70);
+  for (int k = 0; k < 70; ++k) {
+    EXPECT_EQ(part.members[static_cast<std::size_t>(k)],
+              (std::vector<int>{2 * k, 2 * k + 1}));
+    EXPECT_EQ(part.component_of[static_cast<std::size_t>(2 * k)], k);
+    EXPECT_EQ(part.component_of[static_cast<std::size_t>(2 * k + 1)], k);
+  }
+}
+
+TEST(ConnectedComponents, ChainAcrossWordBoundary) {
+  // A path 0-64-130 forces the BFS to discover word-1 and word-2 vertices
+  // from a word-0 frontier and then keep expanding them: discoveries in
+  // higher words must survive into the component, not just their echoes.
+  ConflictGraph g(131);
+  g.add_conflict(0, 64);
+  g.add_conflict(64, 130);
+  const ComponentPartition part = g.connected_components();
+  ASSERT_EQ(part.count(), 129);
+  EXPECT_EQ(part.members[0], (std::vector<int>{0, 64, 130}));
+  EXPECT_EQ(part.component_of[0], 0);
+  EXPECT_EQ(part.component_of[64], 0);
+  EXPECT_EQ(part.component_of[130], 0);
+  // Every other vertex is its own singleton component, each claimed by
+  // exactly one component (no overlap with component 0).
+  for (int v = 1; v < 131; ++v)
+    if (v != 64 && v != 130)
+      EXPECT_EQ(part.members[static_cast<std::size_t>(
+                    part.component_of[static_cast<std::size_t>(v)])],
+                std::vector<int>{v});
+}
+
+TEST(ConnectedComponents, MatchesUnionFindOnRandomGraphs) {
+  for (int seed = 1; seed <= 12; ++seed) {
+    RngStream rng(static_cast<std::uint64_t>(seed), "components");
+    const int n = rng.uniform_int(1, 130);
+    ConflictGraph g(n);
+    // Sparse graphs so multi-component outcomes are common.
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        if (rng.bernoulli(1.5 / static_cast<double>(n)))
+          g.add_conflict(i, j);
+
+    // Union-find reference.
+    std::vector<int> parent(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) parent[static_cast<std::size_t>(v)] = v;
+    const auto find = [&](int v) {
+      while (parent[static_cast<std::size_t>(v)] != v)
+        v = parent[static_cast<std::size_t>(v)];
+      return v;
+    };
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        if (g.conflicts(i, j)) parent[static_cast<std::size_t>(find(i))] =
+            find(j);
+
+    const ComponentPartition part = g.connected_components();
+    std::set<int> roots;
+    for (int v = 0; v < n; ++v) roots.insert(find(v));
+    ASSERT_EQ(part.count(), static_cast<int>(roots.size())) << "n=" << n;
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        EXPECT_EQ(part.component_of[static_cast<std::size_t>(i)] ==
+                      part.component_of[static_cast<std::size_t>(j)],
+                  find(i) == find(j))
+            << "n=" << n << " i=" << i << " j=" << j;
+    // Canonical form: members ascending within and across components.
+    for (int c = 0; c < part.count(); ++c) {
+      const auto& m = part.members[static_cast<std::size_t>(c)];
+      EXPECT_TRUE(std::is_sorted(m.begin(), m.end()));
+      if (c > 0)
+        EXPECT_LT(part.members[static_cast<std::size_t>(c - 1)][0], m[0]);
+    }
+  }
+}
+
 TEST(TwoHopConflicts, SharedEndpointAlwaysConflicts) {
   const std::vector<LinkRef> links = {{0, 1}, {1, 2}, {3, 4}};
   const auto no_neighbors = [](NodeId, NodeId) { return false; };
