@@ -58,6 +58,11 @@
 #define MESHOPT_BENCH_HAS_SERVE 1
 #include "serve/plan_service.h"
 #endif
+#if __has_include("obs/obs.h")
+#define MESHOPT_BENCH_HAS_OBS 1
+#include "obs/obs.h"
+#endif
+
 #if __has_include("opt/decompose.h")
 #define MESHOPT_BENCH_HAS_DECOMPOSE 1
 #include "opt/decompose.h"
@@ -442,6 +447,28 @@ void BM_ControllerRound(benchmark::State& state) {
 }
 BENCHMARK(BM_ControllerRound);
 
+#ifdef MESHOPT_BENCH_HAS_OBS
+// The same round with a TraceRecorder attached at its default sampling:
+// every stage span, cache event, and health event lands in the ring.
+// Against BM_ControllerRound (same build, observer detached) this is the
+// tracing plane's enabled overhead — the acceptance bar is <= 1.03x.
+void BM_ControllerRoundTraced(benchmark::State& state) {
+  Workbench wb(71);
+  build_bench_gateway(wb);
+  MeshController ctl(wb.net(), bench_gateway_config(), 71);
+  add_bench_gateway_flows(wb, ctl);
+  TraceRecorder obs;
+  ctl.set_observer(&obs);
+
+  for (auto _ : state) {
+    const RoundResult round = ctl.run_round(wb);
+    benchmark::DoNotOptimize(round);
+  }
+  state.counters["records"] = static_cast<double>(obs.records_emitted());
+}
+BENCHMARK(BM_ControllerRoundTraced);
+#endif
+
 #if defined(MESHOPT_BENCH_HAS_GUARD) && defined(MESHOPT_BENCH_HAS_TRACE)
 // The same full round through the guarded control loop on clean inputs:
 // snapshot validation, plan guardrails, and the health state machine ride
@@ -821,6 +848,42 @@ void BM_ServeBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeBatch)->Arg(64)->Arg(2000)
     ->Unit(benchmark::kMillisecond);
+
+#ifdef MESHOPT_BENCH_HAS_OBS
+// BM_ServeBatch with the service observed: per-tenant serve spans land in
+// session-local recorders that run_batch absorbs in batch order. Against
+// BM_ServeBatch (observer detached) this is the serving plane's tracing
+// overhead — same <= 1.03x acceptance bar as BM_ControllerRoundTraced.
+void BM_ServeBatchTraced(benchmark::State& state) {
+  const auto tenants = static_cast<std::uint32_t>(state.range(0));
+  const std::vector<MeasurementSnapshot> trace = {serve_bench_snapshot(0),
+                                                  serve_bench_snapshot(1)};
+  ServeConfig cfg;
+  cfg.global_queue_limit = tenants;
+  PlanService svc(cfg);
+  TenantConfig tc;
+  tc.flows = serve_bench_flows();
+  for (std::uint32_t t = 0; t < tenants; ++t) svc.add_tenant(tc);
+  TraceRecorder obs;
+  svc.set_observer(&obs);
+
+  std::int64_t plans = 0;
+  long long tick = 0;
+  for (auto _ : state) {
+    const MeasurementSnapshot& snap =
+        trace[static_cast<std::size_t>(tick) % trace.size()];
+    for (std::uint32_t t = 0; t < tenants; ++t) svc.submit(t, snap, tick);
+    const ServeBatchReport batch = svc.run_batch(tick);
+    plans += static_cast<std::int64_t>(batch.served.size());
+    benchmark::DoNotOptimize(batch);
+    ++tick;
+  }
+  state.SetItemsProcessed(plans);
+  state.counters["records"] = static_cast<double>(obs.records_emitted());
+}
+BENCHMARK(BM_ServeBatchTraced)->Arg(64)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+#endif
 
 // The per-plan cost floor for the comparison above: the same snapshots,
 // flows, and tier through a bare warm Planner — no service, no queues,

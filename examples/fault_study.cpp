@@ -1,7 +1,7 @@
 // Example: fault-injection study — a guarded controller riding churn AND
 // scripted measurement faults for 200 rounds without falling over.
 //
-//   $ ./example_fault_study [rounds] [trace-path]
+//   $ ./example_fault_study [rounds] [trace-path] [incidents-path]
 //
 // The scenario stacks the dynamic-churn timeline of example_churn_study
 // (node flap, Markov interferer, random-walk loss drift) with a
@@ -20,8 +20,14 @@
 // health counters, and the final HealthStats tally.
 //
 // The sensed windows are also recorded to a binary trace, so the exact
-// faulted run can be replayed offline (see example_trace_study).
+// faulted run can be replayed offline (see example_trace_study). A
+// TraceRecorder rides along as flight recorder: every FALLBACK entry
+// snapshots the last rounds of trace context into an IncidentReport, and
+// the reports are written out as JSON. The example cross-checks the
+// recorder against the observed run — it exits nonzero if any incident's
+// round index disagrees with the transition round the loop saw.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +37,8 @@
 #include "core/controller.h"
 #include "core/guard.h"
 #include "core/planner.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "probe/live_source.h"
 #include "scenario/dynamics.h"
 #include "scenario/faults.h"
@@ -73,6 +81,8 @@ int main(int argc, char** argv) {
   const int rounds = argc > 1 ? std::max(9, std::atoi(argv[1])) : 200;
   const std::string path =
       argc > 2 ? argv[2] : std::string("fault_study.trace");
+  const std::string incidents_path =
+      argc > 3 ? argv[3] : std::string("fault_study_incidents.json");
 
   Workbench wb(kSeed);
   build_gateway_chain(wb);
@@ -128,9 +138,18 @@ int main(int argc, char** argv) {
   LiveSource live(wb, ctl, rounds);
   FaultEngine source(&live, std::move(faults));
 
+  // Flight recorder: FALLBACK entries and guardrail rejects snapshot the
+  // surrounding rounds into IncidentReports (max_incidents caps storage;
+  // the overflow is still counted).
+  ObsConfig obs_cfg;
+  obs_cfg.max_incidents = 64;
+  TraceRecorder obs(obs_cfg);
+  ctl.set_observer(&obs);
+
   // ---- guarded run: print transitions, tally per churn phase ---------
   PhaseTally phases[3] = {{"full mesh"}, {"node 3 gone"}, {"rejoined"}};
   HealthState state = ctl.health();
+  std::vector<std::uint64_t> observed_fallback_rounds;
   std::printf("\nhealth transitions:\n");
   for (int r = 0; r < rounds; ++r) {
     const RoundResult round = ctl.guarded_round(source);
@@ -139,6 +158,8 @@ int main(int argc, char** argv) {
       std::printf("  round %3d: %-8s -> %-8s%s\n", r, to_string(state),
                   to_string(round.health),
                   round.held ? "  (holding last-known-good plan)" : "");
+      if (round.health == HealthState::kFallback)
+        observed_fallback_rounds.push_back(static_cast<std::uint64_t>(r));
       state = round.health;
     }
     PhaseTally& phase =
@@ -188,5 +209,54 @@ int main(int argc, char** argv) {
   std::printf("  final state: %s\n", to_string(ctl.health()));
   std::printf("\nrecorded %d sensed windows to %s\n", writer.rounds(),
               path.c_str());
+
+  // ---- flight recorder: dump incidents, cross-check round indices ----
+  {
+    std::string doc = "[";
+    for (std::size_t i = 0; i < obs.incidents().size(); ++i) {
+      if (i > 0) doc += ",\n ";
+      doc += obs.incidents()[i].to_json();
+    }
+    doc += "]\n";
+    std::FILE* f = std::fopen(incidents_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", incidents_path.c_str());
+      return 2;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+  }
+  std::printf("flight recorder: %zu incidents (+%llu beyond cap) -> %s\n",
+              obs.incidents().size(),
+              static_cast<unsigned long long>(obs.incidents_dropped()),
+              incidents_path.c_str());
+
+  // Every FALLBACK-entry report must carry exactly the round index at
+  // which the loop observed the transition, in order. The recorder's
+  // rounds are 0-based from attachment, same as the loop counter.
+  std::vector<std::uint64_t> report_rounds;
+  for (const IncidentReport& inc : obs.incidents())
+    if (inc.code == ObsCode::kFallbackEntry) report_rounds.push_back(inc.round);
+  if (report_rounds != observed_fallback_rounds) {
+    std::fprintf(stderr,
+                 "FAIL: incident rounds disagree with observed FALLBACK "
+                 "transitions (%zu reports vs %zu observed)\n",
+                 report_rounds.size(), observed_fallback_rounds.size());
+    for (std::size_t i = 0;
+         i < std::max(report_rounds.size(), observed_fallback_rounds.size());
+         ++i)
+      std::fprintf(
+          stderr, "  [%zu] report=%lld observed=%lld\n", i,
+          i < report_rounds.size()
+              ? static_cast<long long>(report_rounds[i])
+              : -1LL,
+          i < observed_fallback_rounds.size()
+              ? static_cast<long long>(observed_fallback_rounds[i])
+              : -1LL);
+    return 2;
+  }
+  std::printf("flight recorder agrees with the run: %zu FALLBACK entries at "
+              "matching rounds\n",
+              report_rounds.size());
   return ctl.health() == HealthState::kFallback ? 1 : 0;
 }

@@ -1,15 +1,37 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <set>
 #include <string>
 #include <utility>
 
 #include "core/snapshot_source.h"
+#include "obs/obs.h"
 #include "util/trace_codec.h"
 
 namespace meshopt {
+
+/// Emits the whole-round span on scope exit with the controller's final
+/// health as payload, whatever return path the round took. Declared before
+/// the stage spans so it destructs last — the round span is always the
+/// highest-seq record of its round.
+struct ControllerRoundObs {
+  MeshController* c;
+  std::uint64_t t0;
+  explicit ControllerRoundObs(MeshController* ctl)
+      : c(ctl), t0(ctl->obs_ != nullptr ? ctl->obs_->now_ns() : 0) {}
+  ControllerRoundObs(const ControllerRoundObs&) = delete;
+  ControllerRoundObs& operator=(const ControllerRoundObs&) = delete;
+  ~ControllerRoundObs() {
+    if (c->obs_ == nullptr) return;
+    const std::uint64_t t1 = c->obs_->now_ns();
+    c->obs_->emit(ObsStage::kRound, ObsKind::kSpan, ObsCode::kNone,
+                  static_cast<std::uint64_t>(c->health_),
+                  c->plan_.ok ? 1 : 0, t0, t1 >= t0 ? t1 - t0 : 0);
+  }
+};
 
 MeshController::MeshController(Network& net, ControllerConfig cfg,
                                std::uint64_t seed)
@@ -203,9 +225,12 @@ void MeshController::update_estimates() {
 }
 
 void MeshController::sense_window(Workbench& wb) {
+  if (obs_ != nullptr) obs_->set_context(obs_lane_, obs_round_);
+  ObsSpan sense_span(obs_, ObsStage::kSense);
   start_probing();
   wb.run_for(probing_window_seconds());
   update_estimates();
+  sense_span.payload(snapshot_.links.size(), snapshot_.neighbors.size());
 }
 
 void MeshController::apply_plan(const RatePlan& plan) {
@@ -222,6 +247,9 @@ void MeshController::apply_plan(const RatePlan& plan) {
 
 RoundResult MeshController::optimize_and_apply() {
   RoundResult round;
+  if (obs_ != nullptr) obs_->set_context(obs_lane_, obs_round_);
+  ++obs_round_;
+  ControllerRoundObs round_obs(this);
   if (flows_.empty() || snapshot_.links.size() != links_.size() ||
       links_.empty()) {
     return round;
@@ -232,11 +260,23 @@ RoundResult MeshController::optimize_and_apply() {
   // (bit-identical to an uncached InterferenceModel::build, pinned in
   // tests/test_planner.cpp), and fast-tier plans additionally reuse the
   // entry's column-generation warm state across rounds.
-  plan_ = planner_.plan(snapshot_, cfg_.interference, flow_specs(),
-                        cfg_.plan());
+  {
+    ObsSpan plan_span(obs_, ObsStage::kPlan);
+    plan_ = planner_.plan(snapshot_, cfg_.interference, flow_specs(),
+                          cfg_.plan());
+    plan_span.payload(
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(plan_.extreme_points))
+         << 32) |
+            static_cast<std::uint32_t>(plan_.optimizer_iterations),
+        std::bit_cast<std::uint64_t>(plan_.objective_value));
+  }
   if (!plan_.ok) return round;
 
-  apply_plan(plan_);
+  {
+    ObsSpan apply_span(obs_, ObsStage::kApply);
+    apply_plan(plan_);
+  }
 
   round.ok = true;
   round.links = estimates_;
@@ -250,6 +290,13 @@ RoundResult MeshController::optimize_and_apply() {
 RoundResult MeshController::run_round(Workbench& wb) {
   sense_window(wb);
   return optimize_and_apply();
+}
+
+void MeshController::set_observer(TraceRecorder* obs, std::uint32_t lane) {
+  obs_ = obs;
+  obs_lane_ = lane;
+  planner_.set_observer(obs);
+  if (obs_ != nullptr) obs_->set_context(obs_lane_, obs_round_);
 }
 
 // ------------------------------------------------------- guarded rounds
@@ -286,6 +333,15 @@ RoundResult MeshController::fail_round() {
   if (health_ != HealthState::kFallback) {
     ++hstats_.fallback_entries;
     backoff_next_ = std::max(1, guard_cfg_.backoff_start);
+    if (obs_ != nullptr) {
+      obs_->emit(ObsStage::kHealth, ObsKind::kEvent,
+                 ObsCode::kHealthTransition,
+                 static_cast<std::uint64_t>(health_),
+                 static_cast<std::uint64_t>(HealthState::kFallback));
+      // Flight recorder: FALLBACK entry snapshots the trailing window
+      // (the transition event above is part of it).
+      obs_->trigger_incident(ObsCode::kFallbackEntry);
+    }
   }
   health_ = HealthState::kFallback;
   // Deterministic exponential backoff: hold for backoff_next_ rounds
@@ -304,6 +360,9 @@ RoundResult MeshController::fail_round() {
 
 RoundResult MeshController::guarded_step(MeasurementSnapshot snap) {
   ++hstats_.rounds;
+  if (obs_ != nullptr) obs_->set_context(obs_lane_, obs_round_);
+  ++obs_round_;
+  ControllerRoundObs round_obs(this);
 
   // Backoff window: in FALLBACK the controller deliberately skips
   // re-planning for the scheduled number of rounds — the round's window
@@ -313,6 +372,10 @@ RoundResult MeshController::guarded_step(MeasurementSnapshot snap) {
     --backoff_wait_;
     ++hstats_.backoff_skips;
     ++hstats_.fallback_rounds;
+    if (obs_ != nullptr) {
+      obs_->emit(ObsStage::kHealth, ObsKind::kEvent, ObsCode::kBackoffSkip,
+                 static_cast<std::uint64_t>(backoff_wait_));
+    }
     (void)apply_plan_checked(last_good_plan_);
     RoundResult round;
     round.health = health_;
@@ -321,11 +384,24 @@ RoundResult MeshController::guarded_step(MeasurementSnapshot snap) {
   }
 
   const SnapshotValidator validator(guard_cfg_.snapshot);
-  const ValidationReport report = validator.validate(snap, &links_);
+  ValidationReport report;
+  {
+    ObsSpan validate_span(obs_, ObsStage::kValidate);
+    report = validator.validate(snap, &links_);
+    validate_span.payload(
+        static_cast<std::uint64_t>(report.verdict),
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(report.links_clamped))
+         << 32) |
+            static_cast<std::uint32_t>(report.links_dropped));
+  }
   hstats_.links_clamped += static_cast<std::uint64_t>(report.links_clamped);
   hstats_.links_dropped += static_cast<std::uint64_t>(report.links_dropped);
   if (!report.usable()) {
     ++hstats_.snapshots_rejected;
+    if (obs_ != nullptr) {
+      obs_->emit(ObsStage::kHealth, ObsKind::kEvent, ObsCode::kSnapshotReject);
+    }
     return fail_round();
   }
   const bool clean = report.verdict == SnapshotVerdict::kClean;
@@ -339,15 +415,32 @@ RoundResult MeshController::guarded_step(MeasurementSnapshot snap) {
   // Model + plan. A repaired snapshot's topology must not be cached: the
   // planner builds it off to the side so the LRU never holds an entry
   // derived from corrupted measurements.
-  RatePlan plan =
-      planner_.plan(snapshot_, cfg_.interference, flow_specs(), cfg_.plan(),
-                    /*mis_cap=*/200000, /*cacheable=*/clean);
+  RatePlan plan;
+  {
+    ObsSpan plan_span(obs_, ObsStage::kPlan);
+    plan =
+        planner_.plan(snapshot_, cfg_.interference, flow_specs(), cfg_.plan(),
+                      /*mis_cap=*/200000, /*cacheable=*/clean);
+    plan_span.payload(
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(plan.extreme_points))
+         << 32) |
+            static_cast<std::uint32_t>(plan.optimizer_iterations),
+        std::bit_cast<std::uint64_t>(plan.objective_value));
+  }
 
   const PlanValidator plan_validator(guard_cfg_.plan);
   const PlanCheck check = plan_validator.validate(plan, snapshot_,
                                                   flow_specs());
   if (!plan.ok || !check.ok) {
     ++hstats_.plans_rejected;
+    if (obs_ != nullptr) {
+      // Plan-guardrail reject is a flight-recorder trigger in its own
+      // right (fail_round adds a second report only on FALLBACK entry).
+      obs_->trigger_incident(
+          ObsCode::kPlanReject,
+          check.reason != nullptr ? check.reason : "planner returned no plan");
+    }
     return fail_round();
   }
 
@@ -364,10 +457,27 @@ RoundResult MeshController::guarded_step(MeasurementSnapshot snap) {
   }
   plan_ = plan;
 
-  if (!apply_plan_checked(plan_)) return fail_round();
+  {
+    ObsSpan apply_span(obs_, ObsStage::kApply);
+    const bool applied = apply_plan_checked(plan_);
+    apply_span.payload(applied ? 1 : 0);
+    if (!applied) return fail_round();
+  }
 
-  if (health_ == HealthState::kFallback) ++hstats_.recoveries;
-  health_ = clean ? HealthState::kHealthy : HealthState::kDegraded;
+  if (health_ == HealthState::kFallback) {
+    ++hstats_.recoveries;
+    if (obs_ != nullptr) {
+      obs_->emit(ObsStage::kHealth, ObsKind::kEvent, ObsCode::kRecovery);
+    }
+  }
+  const HealthState next_health =
+      clean ? HealthState::kHealthy : HealthState::kDegraded;
+  if (obs_ != nullptr && next_health != health_) {
+    obs_->emit(ObsStage::kHealth, ObsKind::kEvent, ObsCode::kHealthTransition,
+               static_cast<std::uint64_t>(health_),
+               static_cast<std::uint64_t>(next_health));
+  }
+  health_ = next_health;
   if (clean)
     ++hstats_.healthy_rounds;
   else

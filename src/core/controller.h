@@ -39,6 +39,7 @@
 namespace meshopt {
 
 class SnapshotSource;
+class TraceRecorder;
 class TraceWriter;
 
 /// Knobs of one controller instance (probing cadence + plan tuning).
@@ -222,7 +223,17 @@ class MeshController {
   /// misses mark the rounds where churn forced a re-enumeration).
   [[nodiscard]] const Planner& planner() const { return planner_; }
 
+  /// Attach a trace recorder (borrowed; nullptr detaches — the default,
+  /// and every hook is then a single null check). `lane` stamps this
+  /// controller's records (fleet cells pass their cell index). The
+  /// planner — and through it the column-generation warm state — reports
+  /// into the same recorder. Round indices count this controller's rounds
+  /// (guarded or unguarded) from the moment of attachment.
+  void set_observer(TraceRecorder* obs, std::uint32_t lane = 0);
+  [[nodiscard]] TraceRecorder* observer() const { return obs_; }
+
  private:
+  friend struct ControllerRoundObs;
   ProbeAgent& ensure_agent(NodeId node);
   ProbeMonitor& ensure_monitor(NodeId node);
   [[nodiscard]] int link_index(NodeId src, NodeId dst) const;
@@ -265,6 +276,12 @@ class MeshController {
   double trust_ = 1.0;
   int backoff_wait_ = 0;  ///< fallback rounds left before re-attempting
   int backoff_next_ = 1;  ///< wait imposed by the next failed attempt
+
+  // Observability (see src/obs/obs.h): borrowed recorder + the lane and
+  // round index stamped onto this controller's records.
+  TraceRecorder* obs_ = nullptr;
+  std::uint32_t obs_lane_ = 0;
+  std::uint64_t obs_round_ = 0;
 };
 
 }  // namespace meshopt

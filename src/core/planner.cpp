@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/obs.h"
+
 namespace meshopt {
 
 bool Planner::matches(const Entry& e, const MeasurementSnapshot& snap,
@@ -42,6 +44,10 @@ const InterferenceModel& Planner::model(const MeasurementSnapshot& snap,
       // K x L.
       refresh_extreme_point_matrix(caps_scratch_, e.topology.mis_rows,
                                    e.model->extreme_points_);
+      if (obs_ != nullptr) {
+        obs_->emit(ObsStage::kCache, ObsKind::kEvent, ObsCode::kCacheHit, fp,
+                   e.topology.mis_rows.count());
+      }
       return *e.model;
     }
   }
@@ -52,8 +58,15 @@ const InterferenceModel& Planner::model(const MeasurementSnapshot& snap,
     ++stats_.uncacheable_plans;
   else
     ++stats_.misses;
+  if (obs_ != nullptr) {
+    obs_->emit(ObsStage::kCache, ObsKind::kEvent,
+               cacheable ? ObsCode::kCacheMiss : ObsCode::kCacheUncacheable,
+               fp, snap.links.size());
+  }
+  ObsSpan model_span(obs_, ObsStage::kModel);
   InterferenceTopology topo =
       InterferenceModel::build_topology(snap, kind, mis_cap);
+  model_span.payload(fp, topo.mis_rows.count());
   if (capacity_ == 0 || !cacheable) {
     // Nothing is stored: move the whole topology into the model.
     uncached_.emplace(
@@ -69,6 +82,10 @@ const InterferenceModel& Planner::model(const MeasurementSnapshot& snap,
                                    [](const Entry& a, const Entry& b) {
                                      return a.last_used < b.last_used;
                                    });
+    if (obs_ != nullptr) {
+      obs_->emit(ObsStage::kCache, ObsKind::kEvent, ObsCode::kCacheEvict,
+                 victim->fingerprint);
+    }
     entries_.erase(victim);
     ++stats_.evictions;
   }
@@ -99,6 +116,7 @@ RatePlan Planner::plan(const MeasurementSnapshot& snap,
     if (!last_entry_->column_gen)
       last_entry_->column_gen = std::make_unique<ColumnGenOptimizer>();
     warm = last_entry_->column_gen.get();
+    warm->set_observer(obs_);
   }
   return plan_rates(snap, m, flows, cfg, warm);
 }

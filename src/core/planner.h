@@ -43,6 +43,8 @@
 
 namespace meshopt {
 
+class TraceRecorder;
+
 /// Cache accounting, cumulative since construction (or clear()).
 struct PlannerStats {
   std::uint64_t hits = 0;       ///< model() calls served from the cache
@@ -135,6 +137,16 @@ class Planner {
   /// Drop every cached topology and reset the stats.
   void clear();
 
+  /// Attach a trace recorder (borrowed; nullptr detaches). model() then
+  /// emits kCache events — hit (fingerprint refreshed in place), miss,
+  /// uncacheable, evict, each carrying the topology fingerprint — plus a
+  /// kModel span around Bron–Kerbosch on the build path, and plan()
+  /// forwards the recorder to the entry-owned column-generation warm
+  /// state. Records are stamped with the recorder's ambient (lane, round)
+  /// context, which the owning controller/service maintains.
+  void set_observer(TraceRecorder* obs) { obs_ = obs; }
+  [[nodiscard]] TraceRecorder* observer() const { return obs_; }
+
  private:
   /// One cached topology stage plus the exact inputs it was built from
   /// (the structural key that makes fingerprint collisions harmless) and
@@ -170,6 +182,7 @@ class Planner {
   Entry* last_entry_ = nullptr;
   std::uint64_t clock_ = 0;  ///< LRU stamp source
   PlannerStats stats_;
+  TraceRecorder* obs_ = nullptr;  ///< borrowed; see set_observer()
   /// Holds the model when caching is disabled (capacity 0): cached models
   /// live in their entries instead.
   std::optional<InterferenceModel> uncached_;

@@ -1,0 +1,56 @@
+#pragma once
+// Exporters over TraceRecorder records:
+//   * chrome_trace_json — Chrome trace-event JSON, loadable in Perfetto
+//     (ui.perfetto.dev) with one lane (tid) per pipeline stage and
+//     per-component sub-lanes; deterministic by default (timestamps are
+//     synthesized from round/seq logical time), wall-clock timestamps on
+//     request when the trace was recorded with wall enrichment,
+//   * prometheus_stage_text — Prometheus-style text exposition of the
+//     recorder's stage-duration QuantileSketch histograms and record/
+//     incident counters (pairs with ServeMetrics::metrics_text() for the
+//     serving plane's counters).
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "util/stats.h"
+
+namespace meshopt {
+
+struct ChromeTraceOptions {
+  /// Use wall-clock microseconds for ts/dur where recorded (enrichment;
+  /// ordering then reflects real time, not the determinism contract).
+  /// Default synthesizes deterministic timestamps: a round occupies
+  /// [round*1000, round*1000+1000) us with stage records nested at seq
+  /// offsets — bit-identical output for a deterministic trace.
+  bool use_wall_clock = false;
+  /// Process-name prefix shown in the Perfetto timeline per lane.
+  std::string process_name = "meshopt";
+};
+
+/// Serialize records (canonical order recommended) as Chrome trace-event
+/// JSON. Lanes: pid = record lane (cell/tenant), tid = stage (components
+/// get tid 100+component). Spans become "X" complete events, events become
+/// "i" instant events; thread/process names ride in "M" metadata events.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<ObsRecord>& records, const ChromeTraceOptions& opts = {});
+
+/// Convenience overload: exports rec.canonical_records(opts.use_wall_clock).
+[[nodiscard]] std::string chrome_trace_json(const TraceRecorder& rec,
+                                            const ChromeTraceOptions& opts = {});
+
+/// Append one QuantileSketch as a Prometheus histogram family sample set:
+/// cumulative `name_bucket{...,le="..."}` lines (derived from buckets()),
+/// then `name_sum` and `name_count`. `labels` is the inner label list
+/// without braces (e.g. `stage="plan"`), possibly empty.
+void prometheus_append_histogram(std::string& out, const std::string& name,
+                                 const std::string& labels,
+                                 const QuantileSketch& sketch);
+
+/// Prometheus-style text exposition of a recorder: stage wall-duration
+/// histograms (populated only for wall-enriched traces) plus record and
+/// incident counters.
+[[nodiscard]] std::string prometheus_stage_text(const TraceRecorder& rec);
+
+}  // namespace meshopt

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "opt/utility.h"
 
 namespace meshopt {
@@ -650,6 +651,9 @@ OptimizerResult ColumnGenOptimizer::solve(const ColumnGenInput& input) {
 
   ++stats_.solves;
   solve_pricing_rounds_ = 0;
+  const std::uint64_t warm_before = stats_.warm_starts;
+  const std::uint64_t admitted_before = stats_.columns_admitted;
+  ObsSpan pricing_span(obs_, ObsStage::kPricing);
   seed_columns(input);
 
   OptimizerResult r;
@@ -671,6 +675,10 @@ OptimizerResult ColumnGenOptimizer::solve(const ColumnGenInput& input) {
   }
   r.columns_used = columns_.count();
   r.pricing_rounds = solve_pricing_rounds_;
+  pricing_span.code(stats_.warm_starts > warm_before ? ObsCode::kWarmStart
+                                                     : ObsCode::kColdStart);
+  pricing_span.payload(static_cast<std::uint64_t>(solve_pricing_rounds_),
+                       stats_.columns_admitted - admitted_before);
   return r;
 }
 

@@ -38,6 +38,8 @@
 
 namespace meshopt {
 
+class TraceRecorder;
+
 /// Which planning path computes a RatePlan (see ARCHITECTURE.md, "Plan
 /// tiers"). Selected via PlanConfig::tier; surfaced in RatePlan::tier.
 enum class PlanTier : std::uint8_t {
@@ -183,6 +185,13 @@ class ColumnGenOptimizer {
   /// no-duplicate-per-solve through this). Leave empty in production.
   std::function<void(const ColumnAdmission&)> on_admit;
 
+  /// Attach a trace recorder (borrowed; nullptr detaches). Each solve()
+  /// then emits one kPricing span under the caller's ambient context:
+  /// warm/cold basis as the code, pricing rounds and columns admitted as
+  /// the payload. The planner forwards its recorder to the warm state it
+  /// owns (core/planner.h), so fast-tier rounds report automatically.
+  void set_observer(TraceRecorder* obs) { obs_ = obs; }
+
  private:
   struct Shape {
     int links = 0;
@@ -223,6 +232,7 @@ class ColumnGenOptimizer {
   int warm_rows_ = -1;
 
   ColumnGenStats stats_;
+  TraceRecorder* obs_ = nullptr;  ///< borrowed; see set_observer()
   int solve_pricing_rounds_ = 0;  ///< pricing rounds in the current solve()
   Shape fw_shape_;        ///< shape of the split-phase FW round in flight
   bool fw_last_ok_ = false;  ///< last fw_oracle solved to optimality

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.h"
 #include "opt/utility.h"
 
 namespace meshopt {
@@ -31,6 +32,12 @@ struct CompWork {
   int region_rows = 0;
 
   OptimizerResult result;  ///< final (kMT/kMM) or FW starting point
+
+  // Wall-clock enrichment of the component's phase-A job (0 unless the
+  // attached recorder enables wall_clock). Written by the job, read by the
+  // caller after the phase barrier — disjoint, pool-safe.
+  std::uint64_t obs_t0 = 0;
+  std::uint64_t obs_dur = 0;
 };
 
 bool concave_objective(Objective o) {
@@ -47,6 +54,14 @@ RatePlan DecomposedPlanner::fallback_plan(const MeasurementSnapshot& snap,
                                           std::uint64_t DecomposeStats::*why) {
   ++stats_.fallback_rounds;
   ++(stats_.*why);
+  if (obs_ != nullptr) {
+    ObsCode code = ObsCode::kFallbackDegenerate;
+    if (why == &DecomposeStats::fallback_connected)
+      code = ObsCode::kFallbackConnected;
+    else if (why == &DecomposeStats::fallback_cross_component)
+      code = ObsCode::kFallbackCross;
+    obs_->emit(ObsStage::kComponent, ObsKind::kEvent, code);
+  }
   return fallback_.plan(snap, kind, flows, cfg, mis_cap, cacheable);
 }
 
@@ -159,6 +174,7 @@ RatePlan DecomposedPlanner::plan(const MeasurementSnapshot& snap,
   auto run_component = [&](CompWork& w) {
     const int comp = flow_comp[w.flow_ids.front()];
     Slot& slot = *slots_[static_cast<std::size_t>(comp)];
+    if (obs_ != nullptr) w.obs_t0 = obs_->now_ns();
     const InterferenceModel& m =
         slot.planner.model(w.sub, kind, mis_cap, cacheable);
 
@@ -183,6 +199,7 @@ RatePlan DecomposedPlanner::plan(const MeasurementSnapshot& snap,
         w.cold = std::make_unique<ColumnGenOptimizer>();
         w.warm = w.cold.get();
       }
+      w.warm->set_observer(slot.planner.observer());
       w.warm->config() = cfg.optimizer;
       w.pricing_before = w.warm->stats().pricing_rounds;
       w.result = concave ? w.warm->begin_fw_round(w.cg_in)
@@ -206,15 +223,40 @@ RatePlan DecomposedPlanner::plan(const MeasurementSnapshot& snap,
         w.result = slot.exact.solve(in);
       }
     }
+    if (obs_ != nullptr) {
+      const std::uint64_t t1 = obs_->now_ns();
+      w.obs_dur = t1 >= w.obs_t0 ? t1 - w.obs_t0 : 0;
+    }
   };
 
-  if (pool_ != nullptr && works.size() > 1) {
+  // Slot planners share the single-owner recorder only when phase A runs
+  // on the calling thread; pool jobs keep their slot-level detail silent
+  // (the caller-side kComponentSolve spans below survive either way).
+  const bool pooled = pool_ != nullptr && works.size() > 1;
+  for (const CompWork& w : works) {
+    const int comp = flow_comp[w.flow_ids.front()];
+    slots_[static_cast<std::size_t>(comp)]->planner.set_observer(
+        pooled ? nullptr : obs_);
+  }
+
+  if (pooled) {
     pool_->run_raw(static_cast<int>(works.size()), /*master_seed=*/0,
                    [&](const SweepJob& job) {
                      run_component(works[static_cast<std::size_t>(job.index)]);
                    });
   } else {
     for (CompWork& w : works) run_component(w);
+  }
+
+  if (obs_ != nullptr) {
+    for (const CompWork& w : works) {
+      const int comp = flow_comp[w.flow_ids.front()];
+      obs_->emit(ObsStage::kComponent, ObsKind::kSpan,
+                 ObsCode::kComponentSolve, static_cast<std::uint64_t>(comp),
+                 (static_cast<std::uint64_t>(w.sub.links.size()) << 32) |
+                     static_cast<std::uint64_t>(w.flow_ids.size()),
+                 w.obs_t0, w.obs_dur);
+    }
   }
 
   for (const CompWork& w : works)

@@ -153,6 +153,21 @@ class DecomposedPlanner {
   /// Drop all partition state, component slots, and counters.
   void clear();
 
+  /// Attach a trace recorder (borrowed; nullptr detaches). Fallback rounds
+  /// emit a kComponent event naming the reason (degenerate / connected /
+  /// cross-component) and plan through the observed monolithic planner;
+  /// decomposed rounds emit one kComponentSolve span per active component
+  /// (a = component id, b = (links << 32) | flows) in component order on
+  /// the calling thread. Component-slot planners (cache/model/pricing
+  /// records) are observed only when phase A runs serially — pool jobs
+  /// must not share the single-owner recorder, so a pooled round keeps
+  /// the per-component solve spans but drops the slot-level detail.
+  void set_observer(TraceRecorder* obs) {
+    obs_ = obs;
+    fallback_.set_observer(obs);
+  }
+  [[nodiscard]] TraceRecorder* observer() const { return obs_; }
+
  private:
   /// One interference component's private planning state. Slots live as
   /// long as the partition's membership is unchanged, so their Planner
@@ -180,6 +195,7 @@ class DecomposedPlanner {
   ComponentPartition partition_;
   std::vector<std::unique_ptr<Slot>> slots_;
   DecomposeStats stats_;
+  TraceRecorder* obs_ = nullptr;  ///< borrowed; see set_observer()
 };
 
 }  // namespace meshopt

@@ -1,5 +1,6 @@
 #include "serve/metrics.h"
 
+#include "obs/export.h"
 #include "util/json.h"
 
 namespace meshopt {
@@ -12,6 +13,40 @@ namespace {
 QuantileSketch tick_sketch() { return QuantileSketch(0.5, 1e6, 8); }
 QuantileSketch wall_sketch() { return QuantileSketch(1e-7, 1e5, 8); }
 
+// The one counter-walk both export formats are built from. Every counter
+// the metrics plane exports MUST be named here (and only here): the JSON
+// writer and the Prometheus text writer each visit this walk, so a field
+// added to the walk shows up in both formats and one added elsewhere shows
+// up in neither — the formats cannot drift.
+template <typename Fn>
+void walk_tenant_counters(const TenantCounters& c, Fn&& fn) {
+  fn("submitted", c.submitted);
+  fn("accepted", c.accepted);
+  fn("coalesced", c.coalesced);
+  fn("shed_queue_full", c.shed_queue_full);
+  fn("shed_global_full", c.shed_global_full);
+  fn("shed_stale_round", c.shed_stale_round);
+  fn("plans_served", c.plans_served);
+  fn("plans_failed", c.plans_failed);
+  fn("snapshots_clean", c.snapshots_clean);
+  fn("snapshots_repaired", c.snapshots_repaired);
+  fn("snapshots_rejected", c.snapshots_rejected);
+  fn("cache_hits", c.cache_hits);
+  fn("cache_misses", c.cache_misses);
+  fn("uncacheable_plans", c.uncacheable_plans);
+  fn("decomposed_rounds", c.decomposed_rounds);
+  fn("components_planned", c.components_planned);
+}
+
+/// Service-level counters no tenant owns (global scope only).
+template <typename Fn>
+void walk_global_extras(const ServeCounters& g, Fn&& fn) {
+  fn("shed_unknown_tenant", g.shed_unknown_tenant);
+  fn("batches", g.batches);
+  fn("batch_requests", g.batch_requests);
+  fn("max_batch", g.max_batch);
+}
+
 void append_counter(std::string& out, const char* key, std::uint64_t v) {
   json_append_string(out, key);
   out.push_back(':');
@@ -20,22 +55,8 @@ void append_counter(std::string& out, const char* key, std::uint64_t v) {
 }
 
 void append_tenant_counters(std::string& out, const TenantCounters& c) {
-  append_counter(out, "submitted", c.submitted);
-  append_counter(out, "accepted", c.accepted);
-  append_counter(out, "coalesced", c.coalesced);
-  append_counter(out, "shed_queue_full", c.shed_queue_full);
-  append_counter(out, "shed_global_full", c.shed_global_full);
-  append_counter(out, "shed_stale_round", c.shed_stale_round);
-  append_counter(out, "plans_served", c.plans_served);
-  append_counter(out, "plans_failed", c.plans_failed);
-  append_counter(out, "snapshots_clean", c.snapshots_clean);
-  append_counter(out, "snapshots_repaired", c.snapshots_repaired);
-  append_counter(out, "snapshots_rejected", c.snapshots_rejected);
-  append_counter(out, "cache_hits", c.cache_hits);
-  append_counter(out, "cache_misses", c.cache_misses);
-  append_counter(out, "uncacheable_plans", c.uncacheable_plans);
-  append_counter(out, "decomposed_rounds", c.decomposed_rounds);
-  append_counter(out, "components_planned", c.components_planned);
+  walk_tenant_counters(
+      c, [&out](const char* key, std::uint64_t v) { append_counter(out, key, v); });
 }
 
 void append_sketch(std::string& out, const char* key,
@@ -91,10 +112,9 @@ std::string ServeMetrics::to_json(bool include_wall) const {
   json_append_string(out, "global");
   out += ":{";
   append_tenant_counters(out, global_.totals);
-  append_counter(out, "shed_unknown_tenant", global_.shed_unknown_tenant);
-  append_counter(out, "batches", global_.batches);
-  append_counter(out, "batch_requests", global_.batch_requests);
-  append_counter(out, "max_batch", global_.max_batch);
+  walk_global_extras(global_, [&out](const char* key, std::uint64_t v) {
+    append_counter(out, key, v);
+  });
   append_sketch(out, "tick_latency", tick_latency_);
   if (include_wall) {
     out.push_back(',');
@@ -115,6 +135,68 @@ std::string ServeMetrics::to_json(bool include_wall) const {
     out.push_back('}');
   }
   out += "]}";
+  return out;
+}
+
+std::string ServeMetrics::metrics_text(bool include_wall) const {
+  // Collect samples family-major (the exposition format groups all samples
+  // of one metric under its # TYPE header) while still visiting counters
+  // through the one shared walk.
+  std::vector<std::pair<std::string, std::string>> families;
+  auto family = [&families](const char* key) -> std::string& {
+    const std::string name = std::string("meshopt_serve_") + key;
+    for (auto& [n, body] : families) {
+      if (n == name) return body;
+    }
+    families.emplace_back(name, std::string());
+    return families.back().second;
+  };
+  auto add_sample = [&family](const char* key, const std::string& labels,
+                              std::uint64_t v) {
+    std::string& body = family(key);
+    body += "meshopt_serve_";
+    body += key;
+    body += '{';
+    body += labels;
+    body += "} ";
+    body += std::to_string(v);
+    body += '\n';
+  };
+  walk_tenant_counters(global_.totals,
+                       [&add_sample](const char* key, std::uint64_t v) {
+                         add_sample(key, "scope=\"global\"", v);
+                       });
+  walk_global_extras(global_, [&add_sample](const char* key, std::uint64_t v) {
+    add_sample(key, "scope=\"global\"", v);
+  });
+  for (std::size_t t = 0; t < tenant_.size(); ++t) {
+    const std::string labels = "tenant=\"" + std::to_string(t) + "\"";
+    walk_tenant_counters(tenant_[t],
+                         [&add_sample, &labels](const char* key,
+                                                std::uint64_t v) {
+                           add_sample(key, labels, v);
+                         });
+  }
+
+  std::string out;
+  for (const auto& [name, body] : families) {
+    out += "# TYPE " + name + " counter\n";
+    out += body;
+  }
+
+  out += "# TYPE meshopt_serve_tick_latency histogram\n";
+  prometheus_append_histogram(out, "meshopt_serve_tick_latency",
+                              "scope=\"global\"", tick_latency_);
+  for (std::size_t t = 0; t < tenant_.size(); ++t) {
+    prometheus_append_histogram(out, "meshopt_serve_tick_latency",
+                                "tenant=\"" + std::to_string(t) + "\"",
+                                tenant_tick_latency_[t]);
+  }
+  if (include_wall) {
+    out += "# TYPE meshopt_serve_wall_latency_s histogram\n";
+    prometheus_append_histogram(out, "meshopt_serve_wall_latency_s",
+                                "scope=\"global\"", wall_latency_s_);
+  }
   return out;
 }
 

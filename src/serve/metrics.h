@@ -108,6 +108,15 @@ class ServeMetrics {
   /// across runs and pool thread counts (the pinned determinism surface).
   [[nodiscard]] std::string to_json(bool include_wall = true) const;
 
+  /// Prometheus-style text exposition of the same plane: every counter as
+  /// `meshopt_serve_<key>{scope="global"|tenant="N"} value` plus latency
+  /// histograms (cumulative buckets from QuantileSketch::buckets()). Both
+  /// formats are produced by one shared counter-walk over the counter
+  /// structs, so they cannot drift: a counter added to the walk appears in
+  /// both, one added anywhere else appears in neither. Same include_wall
+  /// split as to_json.
+  [[nodiscard]] std::string metrics_text(bool include_wall = true) const;
+
  private:
   ServeCounters global_;
   std::vector<TenantCounters> tenant_;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace meshopt {
@@ -204,6 +205,20 @@ ServeBatchReport PlanService::run_batch(long long tick) {
         Item& item = items[i];
         TenantSession& s = sessions_[item.tenant];
         JobOut& out = outs[i];
+        // Session-local tracing: the job writes into the session's own
+        // recorder (single-writer, like the session Planner); run_batch
+        // absorbs it in batch order after the pool barrier.
+        TraceRecorder* local = nullptr;
+        if (obs_ != nullptr) {
+          if (!s.recorder)
+            s.recorder = std::make_unique<TraceRecorder>(obs_->config());
+          local = s.recorder.get();
+          local->set_context(item.tenant, item.req.round_seq);
+        }
+        if (s.decomposed)
+          s.decomposed->set_observer(local);
+        else
+          s.planner.set_observer(local);
         // Decomposition-tier sessions plan through their embedded
         // DecomposedPlanner; the call contract is identical, so the
         // guarded path below stays shared.
@@ -216,31 +231,48 @@ ServeBatchReport PlanService::run_batch(long long tick) {
                      : s.planner.plan(snap, s.cfg.interference, s.cfg.flows,
                                       s.cfg.plan, 200000, cacheable);
         };
-        try {
-          if (s.cfg.guarded) {
-            // Replay-style guarded round (mirrors the fleet's): the
-            // repair tier mutates the pending snapshot we own, repaired
-            // inputs keep the planner cache read-only, and the plan
-            // guardrails run before anything is served.
-            const SnapshotValidator validator(s.cfg.guard.snapshot);
-            const ValidationReport report =
-                validator.validate(item.req.snapshot);
-            out.verdict = report.verdict;
-            if (!report.usable()) return;
-            const bool clean = report.verdict == SnapshotVerdict::kClean;
-            out.plan = plan_round(item.req.snapshot, /*cacheable=*/clean);
-            const PlanValidator guard(s.cfg.guard.plan);
-            if (!guard.validate(out.plan, item.req.snapshot, s.cfg.flows).ok)
-              out.plan = RatePlan{};
-          } else {
-            out.plan = plan_round(item.req.snapshot, /*cacheable=*/true);
+        bool guard_rejected = false;
+        {
+          ObsSpan serve_span(local, ObsStage::kServe, ObsCode::kServeOk);
+          try {
+            if (s.cfg.guarded) {
+              // Replay-style guarded round (mirrors the fleet's): the
+              // repair tier mutates the pending snapshot we own, repaired
+              // inputs keep the planner cache read-only, and the plan
+              // guardrails run before anything is served.
+              const SnapshotValidator validator(s.cfg.guard.snapshot);
+              const ValidationReport report =
+                  validator.validate(item.req.snapshot);
+              out.verdict = report.verdict;
+              if (report.usable()) {
+                const bool clean = report.verdict == SnapshotVerdict::kClean;
+                out.plan = plan_round(item.req.snapshot, /*cacheable=*/clean);
+                const PlanValidator guard(s.cfg.guard.plan);
+                if (!guard.validate(out.plan, item.req.snapshot, s.cfg.flows)
+                         .ok) {
+                  out.plan = RatePlan{};
+                  guard_rejected = true;
+                }
+              }
+            } else {
+              out.plan = plan_round(item.req.snapshot, /*cacheable=*/true);
+            }
+          } catch (const std::exception& e) {
+            // Round isolation, as fleet cells: a poisoned snapshot fails
+            // its own round deterministically (the text is a pure function
+            // of the inputs) and every other round completes.
+            out.plan = RatePlan{};
+            out.error = e.what();
           }
-        } catch (const std::exception& e) {
-          // Round isolation, as fleet cells: a poisoned snapshot fails
-          // its own round deterministically (the text is a pure function
-          // of the inputs) and every other round completes.
-          out.plan = RatePlan{};
-          out.error = e.what();
+          if (!out.error.empty()) serve_span.code(ObsCode::kServeError);
+          serve_span.payload(item.req.round_seq, out.plan.ok ? 1 : 0);
+        }
+        if (local != nullptr) {
+          if (!out.error.empty())
+            local->trigger_incident(ObsCode::kServeError, out.error);
+          else if (guard_rejected)
+            local->trigger_incident(ObsCode::kPlanReject,
+                                    "serve: plan guardrail reject");
         }
       });
 
@@ -316,6 +348,11 @@ ServeBatchReport PlanService::run_batch(long long tick) {
 
     s.last_plan = out.plan;
     s.last_served_seq = item.req.round_seq;
+
+    // Batch-order absorption: session traces merge into the service
+    // recorder here, on the calling thread — the trace side of the
+    // "all accounting in batch order" determinism contract.
+    if (obs_ != nullptr && s.recorder) obs_->absorb(*s.recorder);
 
     ServedPlan served;
     served.tenant = item.tenant;

@@ -47,6 +47,7 @@
 #include "core/planner.h"
 #include "core/rate_plan.h"
 #include "core/snapshot.h"
+#include "obs/obs.h"
 #include "opt/decompose.h"
 #include "serve/metrics.h"
 #include "serve/wire.h"
@@ -250,6 +251,18 @@ class PlanService {
   /// The round sequence of that plan (0 until one is served).
   [[nodiscard]] std::uint64_t last_served_seq(std::uint32_t tenant) const;
 
+  /// Attach a trace recorder (borrowed; nullptr detaches). Each batch job
+  /// then traces into its session's private recorder (lane = tenant id,
+  /// round = round sequence; created lazily from the attached recorder's
+  /// config): one kServe span per served round plus the session planner's
+  /// cache/model/pricing records, with kServeError / kPlanReject incidents
+  /// on planning exceptions and guardrail rejects. Session recorders are
+  /// absorbed on the calling thread in batch order (the same ordering the
+  /// metrics contract relies on), so the trace is bit-identical across
+  /// pool thread counts.
+  void set_observer(TraceRecorder* obs) { obs_ = obs; }
+  [[nodiscard]] TraceRecorder* observer() const { return obs_; }
+
  private:
   /// One pending round in a tenant's queue.
   struct Pending {
@@ -273,6 +286,10 @@ class PlanService {
     std::uint64_t high_seq = 0;         ///< highest accepted sequence
     std::uint64_t last_served_seq = 0;
     RatePlan last_plan;
+    /// Session-local trace recorder, created lazily when the service has
+    /// an observer: the batch job writes here (single-writer, like the
+    /// session Planner) and run_batch absorbs it in batch order.
+    std::unique_ptr<TraceRecorder> recorder;
     PlannerStats seen_stats;  ///< planner counters already metered
     DecomposeStats seen_decompose;  ///< decompose counters already metered
     std::deque<Pending> queue;
@@ -301,6 +318,7 @@ class PlanService {
   std::vector<TenantSession> sessions_;
   std::size_t pending_ = 0;  ///< queued rounds across all tenants
   ServeMetrics metrics_;
+  TraceRecorder* obs_ = nullptr;  ///< borrowed; see set_observer()
 };
 
 }  // namespace meshopt

@@ -8,6 +8,7 @@
 
 #include "core/guard.h"
 #include "core/planner.h"
+#include "obs/obs.h"
 #include "probe/live_source.h"
 #include "transport/udp.h"
 
@@ -15,7 +16,8 @@ namespace meshopt {
 
 namespace {
 
-FleetResult run_cell(const FleetCell& cell, const SweepJob& job) {
+FleetResult run_cell(const FleetCell& cell, const SweepJob& job,
+                     TraceRecorder* obs) {
   if (!cell.build_topology)
     throw std::invalid_argument("FleetCell: build_topology is required");
 
@@ -32,6 +34,8 @@ FleetResult run_cell(const FleetCell& cell, const SweepJob& job) {
   }
 
   MeshController ctl(wb.net(), cell.controller, job.seed);
+  if (obs != nullptr)
+    ctl.set_observer(obs, static_cast<std::uint32_t>(job.index));
   const bool guarded = cell.guarded || static_cast<bool>(cell.faults);
   if (guarded) ctl.set_guard(cell.guard);
 
@@ -133,12 +137,16 @@ RatePlan guarded_replay_round(PlannerT& planner, const ReplayCell& cell,
   return plan;
 }
 
-/// The shared segment walk, over either planner front end.
+/// The shared segment walk, over either planner front end. When observed,
+/// the recorder's ambient context tracks (lane = cell, round) so the
+/// planner's cache/model/pricing records land on the round they belong to.
 template <typename PlannerT>
 void replay_segment(PlannerT& planner, const ReplayCell& cell,
                     const std::vector<MeasurementSnapshot>& trace, int lo,
-                    int hi, std::size_t mis_cap, std::vector<RatePlan>& plans) {
+                    int hi, std::size_t mis_cap, std::vector<RatePlan>& plans,
+                    TraceRecorder* obs, std::uint32_t lane) {
   for (int r = lo; r < hi; ++r) {
+    if (obs != nullptr) obs->set_context(lane, static_cast<std::uint64_t>(r));
     const MeasurementSnapshot& round = trace[static_cast<std::size_t>(r)];
     plans[static_cast<std::size_t>(r)] =
         cell.guarded
@@ -152,17 +160,33 @@ void replay_segment(PlannerT& planner, const ReplayCell& cell,
 
 std::vector<FleetResult> ControllerFleet::run(
     const std::vector<FleetCell>& cells, std::uint64_t master_seed) {
-  return runner_.run(
+  // Job-local recorders: each pool job traces into its own recorder, and
+  // the slots are absorbed in cell order after the barrier — the trace
+  // stays bit-identical across thread counts (see set_observer()).
+  std::vector<std::unique_ptr<TraceRecorder>> locals;
+  if (obs_ != nullptr) locals.resize(cells.size());
+
+  std::vector<FleetResult> results = runner_.run(
       static_cast<int>(cells.size()), master_seed,
-      [&cells](const SweepJob& job) {
+      [&cells, &locals, this](const SweepJob& job) {
+        TraceRecorder* local = nullptr;
+        if (obs_ != nullptr) {
+          auto& slot = locals[static_cast<std::size_t>(job.index)];
+          slot = std::make_unique<TraceRecorder>(obs_->config());
+          local = slot.get();
+          local->set_context(static_cast<std::uint32_t>(job.index), 0);
+        }
         // Cell isolation: a throwing cell reports its error and every
         // other cell completes normally. The caught texts are
         // deterministic (every exception on this path is a pure function
         // of the cell's inputs and seed), so fleet outputs stay
         // bit-identical across thread counts even with failing cells.
         try {
-          return run_cell(cells[static_cast<std::size_t>(job.index)], job);
+          return run_cell(cells[static_cast<std::size_t>(job.index)], job,
+                          local);
         } catch (const std::exception& e) {
+          if (local != nullptr)
+            local->trigger_incident(ObsCode::kCellError, e.what());
           FleetResult failed;
           failed.index = job.index;
           failed.seed = job.seed;
@@ -170,6 +194,12 @@ std::vector<FleetResult> ControllerFleet::run(
           return failed;
         }
       });
+
+  if (obs_ != nullptr) {
+    for (auto& local : locals)
+      if (local) obs_->absorb(*local);
+  }
+  return results;
 }
 
 std::vector<ReplayResult> ControllerFleet::replay(
@@ -208,18 +238,34 @@ std::vector<ReplayResult> ControllerFleet::replay(
   // at default plans; other segments — including the same cell's — finish.
   std::vector<std::string> segment_errors(jobs.size());
 
+  // Job-local recorders, absorbed in job order after the barrier (jobs
+  // were emitted in (cell, lo) order, so absorption is round-ordered per
+  // lane whatever thread count ran them).
+  std::vector<std::unique_ptr<TraceRecorder>> locals;
+  if (obs_ != nullptr) locals.resize(jobs.size());
+
   // Replay draws no randomness; the pool's per-job seed is unused. The
   // shared rounds are walked by reference — no snapshot (or LIR matrix)
   // is copied per cell, segment, or round (guarded cells copy one
   // snapshot per round for the validator's repair tier).
   runner_.run_raw(
       static_cast<int>(jobs.size()), /*master_seed=*/0,
-      [&jobs, &cells, &trace, &results, &segment_errors,
-       &opts](const SweepJob& job) {
+      [&jobs, &cells, &trace, &results, &segment_errors, &locals, &opts,
+       this](const SweepJob& job) {
         const Segment& sj = jobs[static_cast<std::size_t>(job.index)];
         const ReplayCell& cell = cells[static_cast<std::size_t>(sj.cell)];
         std::vector<RatePlan>& plans =
             results[static_cast<std::size_t>(sj.cell)].plans;
+        const auto lane = static_cast<std::uint32_t>(sj.cell);
+        TraceRecorder* local = nullptr;
+        if (obs_ != nullptr) {
+          auto& slot = locals[static_cast<std::size_t>(job.index)];
+          slot = std::make_unique<TraceRecorder>(obs_->config());
+          local = slot.get();
+          local->set_context(lane, static_cast<std::uint64_t>(sj.lo));
+        }
+        const std::uint64_t seg_t0 =
+            local != nullptr ? local->now_ns() : 0;
         try {
           if (opts.decompose) {
             // Embedded without a nested pool: this job IS a pool job, and
@@ -228,12 +274,24 @@ std::vector<ReplayResult> ControllerFleet::replay(
             // is the per-component model/solve scaling itself.
             DecomposedPlanner planner(opts.decompose_config,
                                       /*pool=*/nullptr);
+            planner.set_observer(local);
             replay_segment(planner, cell, trace, sj.lo, sj.hi, opts.mis_cap,
-                           plans);
+                           plans, local, lane);
           } else {
             Planner planner(opts.planner_cache);
+            planner.set_observer(local);
             replay_segment(planner, cell, trace, sj.lo, sj.hi, opts.mis_cap,
-                           plans);
+                           plans, local, lane);
+          }
+          if (local != nullptr) {
+            // One kSegment span per pool job, stamped at the segment's
+            // first round; payload = the [lo, hi) round range.
+            const std::uint64_t t1 = local->now_ns();
+            local->set_context(lane, static_cast<std::uint64_t>(sj.lo));
+            local->emit(ObsStage::kSegment, ObsKind::kSpan, ObsCode::kNone,
+                        static_cast<std::uint64_t>(sj.lo),
+                        static_cast<std::uint64_t>(sj.hi), seg_t0,
+                        t1 >= seg_t0 ? t1 - seg_t0 : 0);
           }
         } catch (const std::exception& e) {
           // Reset the whole segment: rounds planned before the throw must
@@ -242,8 +300,15 @@ std::vector<ReplayResult> ControllerFleet::replay(
           for (int r = sj.lo; r < sj.hi; ++r)
             plans[static_cast<std::size_t>(r)] = RatePlan{};
           segment_errors[static_cast<std::size_t>(job.index)] = e.what();
+          if (local != nullptr)
+            local->trigger_incident(ObsCode::kCellError, e.what());
         }
       });
+
+  if (obs_ != nullptr) {
+    for (auto& local : locals)
+      if (local) obs_->absorb(*local);
+  }
 
   // Surface each cell's first (lowest-round) segment error; jobs were
   // emitted in (cell, lo) order, so the first non-empty slot per cell is

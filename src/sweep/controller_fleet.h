@@ -222,8 +222,22 @@ class ControllerFleet {
       const std::vector<ReplayCell>& cells, const std::string& trace_path,
       const ReplayOptions& opts = {});
 
+  /// Attach a trace recorder (borrowed; nullptr detaches). Fleet runs then
+  /// trace each cell's controller loop (lane = cell index) and replay runs
+  /// trace every planned round plus one kSegment span per pool job; cells
+  /// that die with an error trigger a kCellError incident carrying the
+  /// exception text. Tracing preserves the fleet's determinism contract:
+  /// every pool job writes into its own job-local recorder (constructed
+  /// from the attached recorder's config), and the job recorders are
+  /// absorbed into the attached recorder in job-index order after the pool
+  /// barrier — so the trace, like the results, is bit-identical across
+  /// thread counts.
+  void set_observer(TraceRecorder* obs) { obs_ = obs; }
+  [[nodiscard]] TraceRecorder* observer() const { return obs_; }
+
  private:
   SweepRunner runner_;
+  TraceRecorder* obs_ = nullptr;  ///< borrowed; see set_observer()
 };
 
 }  // namespace meshopt

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace meshopt {
@@ -211,6 +212,39 @@ double QuantileSketch::quantile(double q) const {
     }
   }
   return std::clamp(v, min_, max_);
+}
+
+std::vector<SketchBucket> QuantileSketch::buckets() const {
+  std::vector<SketchBucket> out;
+  if (n_ == 0) return out;
+  if (exact()) {
+    // Lossless dump: one bucket per distinct sample value.
+    std::sort(exact_.begin(), exact_.end());
+    for (const double v : exact_) {
+      if (!out.empty() && out.back().upper_bound == v) {
+        ++out.back().count;
+      } else {
+        out.push_back({v, 1});
+      }
+    }
+    return out;
+  }
+  out.reserve(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    double ub;
+    if (i == 0) {
+      ub = min_value_;  // underflow: everything below the binned range
+    } else if (i + 1 == bins_.size()) {
+      ub = std::numeric_limits<double>::infinity();  // overflow
+    } else {
+      // Upper edge of geometric bin i's [lo, lo * 2^(1/bpo)) range.
+      ub = min_value_ * std::exp2(static_cast<double>(i) /
+                                  static_cast<double>(bins_per_octave_));
+    }
+    out.push_back({ub, bins_[i]});
+  }
+  return out;
 }
 
 double rmse(std::span<const double> a, std::span<const double> b) {

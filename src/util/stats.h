@@ -62,6 +62,15 @@ class Cdf {
   mutable bool dirty_ = false;
 };
 
+/// One histogram bucket as exposed by QuantileSketch::buckets():
+/// `count` samples with values <= `upper_bound` (and above the previous
+/// bucket's bound). Counts are per-bucket, not cumulative; exporters that
+/// need Prometheus-style cumulative `le` buckets accumulate while walking.
+struct SketchBucket {
+  double upper_bound = 0.0;  ///< inclusive upper edge (+inf for overflow)
+  std::uint64_t count = 0;   ///< samples in this bucket
+};
+
 /// Streaming quantile estimator: exact up to a small-N limit, then a
 /// fixed-bin log histogram.
 ///
@@ -117,6 +126,13 @@ class QuantileSketch {
   }
   /// True while every sample is stored verbatim (quantiles are exact).
   [[nodiscard]] bool exact() const { return bins_.empty(); }
+
+  /// Bucket dump for exporters (ascending upper bounds, per-bucket counts
+  /// summing to count()). Exact mode: one bucket per distinct sample value
+  /// (its own upper bound — a lossless dump). Binned mode: the geometric
+  /// bin edges — underflow reports upper_bound = the configured min_value,
+  /// overflow reports +inf — with empty bins omitted. Empty sketch: {}.
+  [[nodiscard]] std::vector<SketchBucket> buckets() const;
 
  private:
   [[nodiscard]] std::size_t bin_index(double x) const;

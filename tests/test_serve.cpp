@@ -12,6 +12,8 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -481,6 +483,79 @@ TEST(ServeMetrics, JsonDocumentParsesAndAccounts) {
   const JsonValue det = JsonValue::parse(svc.metrics_json(false));
   EXPECT_EQ(det.at("global").find("wall_latency_s"), nullptr);
   EXPECT_NE(det.at("global").find("tick_latency"), nullptr);
+}
+
+/// Parse a Prometheus text exposition into "name{labels}" -> value.
+std::map<std::string, double> parse_prometheus(const std::string& text) {
+  std::map<std::string, double> samples;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto sp = line.rfind(' ');
+    if (sp == std::string::npos) {
+      ADD_FAILURE() << "malformed sample line: " << line;
+      continue;
+    }
+    samples[line.substr(0, sp)] = std::stod(line.substr(sp + 1));
+  }
+  return samples;
+}
+
+/// Both export formats are built from ONE counter walk (metrics.cpp), so
+/// parsing both documents must yield identical values for every counter —
+/// the pin that keeps the JSON and Prometheus planes from drifting.
+TEST(ServeMetrics, PrometheusTextAgreesWithJson) {
+  const std::vector<MeasurementSnapshot> pool = {
+      chain_snapshot(), perturbed_snapshot(0.9), repairable_snapshot()};
+  PlanService svc;
+  svc.add_tenant(chain_tenant(PlanTier::kExact, /*guarded=*/true));
+  svc.add_tenant(chain_tenant(PlanTier::kFast));
+  const ServeScript script =
+      staggered_replay_script(2, 4, 3, 2, /*seed=*/7, /*burst_every=*/1);
+  (void)svc.run_script(script, pool);
+
+  const JsonValue doc = JsonValue::parse(svc.metrics_json());
+  const std::map<std::string, double> samples =
+      parse_prometheus(svc.metrics().metrics_text());
+
+  int checked = 0;
+  for (const auto& [key, value] : doc.at("global").members()) {
+    if (value.type() != JsonValue::Type::kNumber) continue;  // sketches
+    const std::string name = "meshopt_serve_" + key + "{scope=\"global\"}";
+    ASSERT_EQ(samples.count(name), 1u) << name;
+    EXPECT_EQ(samples.at(name), value.as_number()) << name;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 20);  // 16 tenant-scoped + 4 global-only counters
+  for (const JsonValue& tenant : doc.at("tenants").items()) {
+    const std::string labels =
+        "{tenant=\"" + std::to_string(tenant.at("tenant").as_int()) + "\"}";
+    for (const auto& [key, value] : tenant.members()) {
+      if (key == "tenant" || value.type() != JsonValue::Type::kNumber)
+        continue;
+      const std::string name = "meshopt_serve_" + key + labels;
+      ASSERT_EQ(samples.count(name), 1u) << name;
+      EXPECT_EQ(samples.at(name), value.as_number()) << name;
+    }
+  }
+
+  // Histogram exposition: the +Inf bucket and _count both equal the JSON
+  // sketch's count (cumulative buckets, shared QuantileSketch::buckets()).
+  const double count =
+      doc.at("global").at("tick_latency").at("count").as_number();
+  EXPECT_GT(count, 0.0);
+  EXPECT_EQ(samples.at("meshopt_serve_tick_latency_bucket{scope=\"global\","
+                       "le=\"+Inf\"}"),
+            count);
+  EXPECT_EQ(samples.at("meshopt_serve_tick_latency_count{scope=\"global\"}"),
+            count);
+
+  // include_wall=false drops the wall-latency histogram — and only it —
+  // mirroring metrics_json(false)'s deterministic surface.
+  const std::string det = svc.metrics().metrics_text(false);
+  EXPECT_EQ(det.find("wall_latency_s"), std::string::npos);
+  EXPECT_NE(det.find("tick_latency"), std::string::npos);
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "util/mathfit.h"
 #include "util/rng.h"
@@ -272,6 +275,62 @@ TEST(QuantileSketchTest, MergeRejectsConfigMismatch) {
   QuantileSketch c(1e-2, 1e3, 8);
   EXPECT_THROW(a.merge(b), std::invalid_argument);
   EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(QuantileSketchTest, ExactBucketsAreALosslessDump) {
+  QuantileSketch s;  // default exact limit of 64
+  const double xs[] = {5.0, 1.0, 5.0, 3.0, 1.0, 5.0};
+  for (double x : xs) s.add(x);
+  ASSERT_TRUE(s.exact());
+
+  const std::vector<SketchBucket> b = s.buckets();
+  ASSERT_EQ(b.size(), 3u);  // one bucket per distinct value, ascending
+  EXPECT_DOUBLE_EQ(b[0].upper_bound, 1.0);
+  EXPECT_EQ(b[0].count, 2u);
+  EXPECT_DOUBLE_EQ(b[1].upper_bound, 3.0);
+  EXPECT_EQ(b[1].count, 1u);
+  EXPECT_DOUBLE_EQ(b[2].upper_bound, 5.0);
+  EXPECT_EQ(b[2].count, 3u);
+
+  EXPECT_TRUE(QuantileSketch().buckets().empty());
+}
+
+TEST(QuantileSketchTest, BinnedBucketsPartitionEverySample) {
+  QuantileSketch s(1.0, 100.0, 4, /*exact_limit=*/0);
+  RngStream r(41, "sketch-buckets");
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(r.uniform(2.0, 80.0));
+  xs.push_back(0.25);   // underflow bin
+  xs.push_back(500.0);  // overflow bin
+  for (double x : xs) s.add(x);
+  ASSERT_FALSE(s.exact());
+
+  const std::vector<SketchBucket> b = s.buckets();
+  ASSERT_FALSE(b.empty());
+  // Empty bins are omitted, bounds ascend, and the counts partition n.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_GT(b[i].count, 0u);
+    if (i > 0) EXPECT_GT(b[i].upper_bound, b[i - 1].upper_bound);
+    total += b[i].count;
+  }
+  EXPECT_EQ(total, s.count());
+  // The underflow bucket's bound is the binned range's floor; the
+  // overflow bucket is unbounded above.
+  EXPECT_DOUBLE_EQ(b.front().upper_bound, 1.0);
+  EXPECT_TRUE(std::isinf(b.back().upper_bound));
+  // Cumulative-le property: every bucket's bound dominates at least as
+  // many samples as the walk has seen (the invariant the Prometheus
+  // exposition's cumulative counts rest on).
+  std::sort(xs.begin(), xs.end());
+  std::uint64_t cumulative = 0;
+  for (const SketchBucket& bucket : b) {
+    cumulative += bucket.count;
+    const auto below = static_cast<std::uint64_t>(
+        std::upper_bound(xs.begin(), xs.end(), bucket.upper_bound) -
+        xs.begin());
+    EXPECT_GE(below, cumulative);
+  }
 }
 
 TEST(QuantileSketchTest, OrderIndependent) {

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate exported Chrome trace-event JSON (src/obs/export.h).
+
+Checks, per file given on the command line:
+
+  * the file parses as JSON with a top-level ``traceEvents`` array and
+    ``displayTimeUnit`` of ``ms``;
+  * every event carries the required keys for its phase (``X`` complete
+    spans need ``ts``/``dur``, ``i`` instants need ``ts``, ``M`` metadata
+    needs ``args.name``), with numeric ``ts``/``dur`` >= 0;
+  * timed events carry the deterministic ``args`` payload the exporter
+    stamps (``round``/``seq``/``code``);
+  * within each (pid, tid) lane, ``ts`` is monotone non-decreasing — the
+    exported contract tests/test_obs.cpp pins from C++.
+
+Exit code 1 with a report if any file violates the contract; 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_TIMED_ARGS = ("round", "seq", "code")
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+
+    def err(msg: str) -> None:
+        errors.append(f"{path}: {msg}")
+
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or malformed JSON: {exc}"]
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return [f"{path}: missing top-level traceEvents array"]
+    if doc.get("displayTimeUnit") != "ms":
+        err(f"displayTimeUnit is {doc.get('displayTimeUnit')!r}, want 'ms'")
+
+    last_ts: dict[tuple[int, int], float] = {}
+    timed = 0
+    for i, ev in enumerate(doc["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            err(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            err(f"{where}: unexpected phase {ph!r}")
+            continue
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+            ev.get("tid"), int
+        ):
+            err(f"{where}: pid/tid must be integers")
+            continue
+        if ph == "M":
+            args = ev.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                err(f"{where}: metadata event without args.name")
+            continue
+
+        timed += 1
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            err(f"{where}: bad ts {ts!r}")
+            continue
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                err(f"{where}: complete span with bad dur {dur!r}")
+        args = ev.get("args")
+        if not isinstance(args, dict) or any(
+            k not in args for k in REQUIRED_TIMED_ARGS
+        ):
+            err(f"{where}: timed event missing args {REQUIRED_TIMED_ARGS}")
+
+        lane = (ev["pid"], ev["tid"])
+        prev = last_ts.get(lane)
+        if prev is not None and ts < prev:
+            err(f"{where}: ts {ts} < {prev} in lane pid={lane[0]} tid={lane[1]}")
+        last_ts[lane] = ts
+
+    if timed == 0:
+        err("no timed events (empty trace?)")
+    return errors
+
+
+def main() -> int:
+    paths = [Path(a) for a in sys.argv[1:]]
+    if not paths:
+        print("usage: check_trace_json.py TRACE.json [TRACE.json ...]",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
